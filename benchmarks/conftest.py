@@ -1,0 +1,30 @@
+"""Shared benchmark configuration.
+
+Benchmarks double as the figure-regeneration harness: each ``test_fig*``
+runs the corresponding paper experiment once (``benchmark.pedantic`` with a
+single round — these are simulations, not microbenchmarks), prints the
+same series the paper plots, and asserts the qualitative shape.
+
+``REPRO_SCALE`` (default 0.5 here) trades fidelity for wall time; the
+shape assertions are written to hold from 0.4 upward — below that the
+simulated systems are too small for the paper's contrasts to bind.
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_SCALE", "0.5"))
+
+
+@pytest.fixture
+def scale():
+    return bench_scale()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,56 @@
+"""Ablation: load-balancing aggressiveness (§4.3, §5.3.2).
+
+The paper observes that perfectly balanced distributions can be
+counterproductive, and that its own balancing metric is primitive.  This
+ablation sweeps the heartbeat's imbalance threshold — from "never balance"
+(equivalent to a static partition) to hair-trigger — under the steady
+scaling workload, where balancing has little to gain and mostly costs
+migrations and client re-discovery.
+"""
+
+import dataclasses
+
+from repro.experiments import scaling_config
+from repro.experiments.builder import build_simulation
+
+from .conftest import bench_scale, run_once
+
+THRESHOLDS = [1e9, 0.25, 0.02]  # off / default / aggressive
+
+
+def run_with_threshold(threshold: float):
+    cfg = scaling_config("DynamicSubtree", n_mds=6, scale=bench_scale())
+    cfg = cfg.replace(params=dataclasses.replace(
+        cfg.params, balance_threshold=threshold))
+    sim = build_simulation(cfg)
+    t0, t1 = cfg.measure_window
+    sim.run_to(t1)
+    migrations = sim.cluster.balancer.migrations if sim.cluster.balancer else 0
+    return {
+        "threshold": threshold,
+        "throughput": sim.cluster.mean_node_throughput(t0, t1),
+        "migrations": migrations,
+        "forward_fraction": sim.cluster.forward_fraction(),
+    }
+
+
+def test_ablation_balancer_aggressiveness(benchmark):
+    def sweep():
+        return [run_with_threshold(t) for t in THRESHOLDS]
+
+    results = run_once(benchmark, sweep)
+    print()
+    for r in results:
+        label = ("off" if r["threshold"] > 1e6 else f"θ={r['threshold']}")
+        print(f"balancing {label:8s} thr={r['throughput']:.0f} "
+              f"migrations={r['migrations']} fwd={r['forward_fraction']:.3f}")
+
+    off, default, aggressive = results
+    assert off["migrations"] == 0
+    # more aggressive balancing does more migrations...
+    assert aggressive["migrations"] >= default["migrations"]
+    # ...and more migrations mean more client re-discovery forwarding
+    assert aggressive["forward_fraction"] >= off["forward_fraction"]
+    # under a steady workload, balancing must not be a large win — the
+    # paper's "fairness is not always best" point
+    assert off["throughput"] > 0.7 * max(r["throughput"] for r in results)

@@ -1,0 +1,91 @@
+"""Ablation: dynamic directory fragmentation (§4.3).
+
+A create storm into one giant shared directory is the scenario dirfrag
+exists for: with fragmentation the directory's entries are hashed across
+the cluster by name and creates spread over every node; without it a
+single authority absorbs the whole storm.
+"""
+
+import dataclasses
+
+from repro.clients import Client
+from repro.mds import MdsCluster, MdsRequest, OpType, SimParams
+from repro.namespace import Namespace, build_tree
+from repro.namespace import path as pathmod
+from repro.partition import make_strategy
+from repro.sim import Environment, RngStreams
+
+from .conftest import bench_scale, run_once
+
+
+class CreateStormWorkload:
+    """Every client creates files in one shared directory as fast as it can."""
+
+    def __init__(self, target_dir, think_s=0.002):
+        self.target_dir = target_dir
+        self.think_s = think_s
+
+    def next_delay(self, client):
+        return client.rng.expovariate(1.0 / self.think_s)
+
+    def next_op(self, client):
+        count = client.scratch.setdefault("n", 0)
+        client.scratch["n"] = count + 1
+        name = f"s{client.client_id}_{count}"
+        return MdsRequest(op=OpType.CREATE,
+                          path=pathmod.join(self.target_dir, name),
+                          client_id=client.client_id)
+
+
+def run_storm(dirfrag_enabled: bool, n_clients=None, duration=None):
+    scale = bench_scale()
+    n_clients = n_clients or max(16, int(120 * scale))
+    duration = duration or 2.0 + 2.0 * scale
+    env = Environment()
+    streams = RngStreams(17)
+    ns = Namespace()
+    build_tree(ns, {"shared": {"seed.txt": 1},
+                    "other": {"x.txt": 1}})
+    strategy = make_strategy("DynamicSubtree", 6)
+    strategy.bind(ns)
+    params = SimParams(dirfrag_enabled=dirfrag_enabled,
+                       dirfrag_size_threshold=40,
+                       dirfrag_unfrag_size=8,
+                       balance_interval_s=1e9)  # isolate dirfrag
+    cluster = MdsCluster(env, ns, strategy, params)
+    cluster.start()
+    workload = CreateStormWorkload(pathmod.parse("/shared"))
+    clients = []
+    for i in range(n_clients):
+        c = Client(env, i, cluster, workload, streams.py_stream(f"c{i}"))
+        c.start()
+        clients.append(c)
+    env.run(until=duration)
+    serving = [n.stats.ops_served for n in cluster.nodes]
+    return {
+        "total_created": sum(c.stats.ops_completed for c in clients),
+        "serving_nodes": sum(1 for s in serving if s > 10),
+        "max_node_share": max(serving) / max(1, sum(serving)),
+        "fragmented": bool(strategy.fragmented),
+    }
+
+
+def test_ablation_dirfrag_create_storm(benchmark):
+    def both():
+        return run_storm(False), run_storm(True)
+
+    off, on = run_once(benchmark, both)
+    print()
+    print(f"dirfrag off: created={off['total_created']} "
+          f"serving_nodes={off['serving_nodes']} "
+          f"max_share={off['max_node_share']:.2f}")
+    print(f"dirfrag on:  created={on['total_created']} "
+          f"serving_nodes={on['serving_nodes']} "
+          f"max_share={on['max_node_share']:.2f}")
+
+    assert on["fragmented"] and not off["fragmented"]
+    # the storm spreads across the cluster once the directory fragments
+    assert on["serving_nodes"] > off["serving_nodes"]
+    assert on["max_node_share"] < off["max_node_share"]
+    # and the cluster absorbs more creates in the same time
+    assert on["total_created"] > off["total_created"]

@@ -1,0 +1,48 @@
+"""Ablation: embedded inodes / directory-grain storage (§4.5).
+
+The paper argues the DirHash-vs-FileHash gap is the clearest evidence that
+embedding inodes in directories (one I/O per directory, prefetchable) beats
+scattered per-inode storage.  This ablation isolates the layout choice on a
+*single* strategy: the same dynamic-subtree partition is run with its native
+directory-grain layout and again forced onto the inode-grain layout.
+"""
+
+from repro.experiments import run_steady_state, scaling_config
+from repro.experiments.builder import build_simulation
+from repro.storage import InodeGrainLayout
+
+from .conftest import bench_scale, run_once
+
+
+def run_with_layout(inode_grain: bool):
+    cfg = scaling_config("DynamicSubtree", n_mds=6, scale=bench_scale())
+    sim = build_simulation(cfg)
+    if inode_grain:
+        sim.cluster.strategy.layout = InodeGrainLayout()
+    t0, t1 = cfg.measure_window
+    sim.run_to(t1)
+    return {
+        "throughput": sim.cluster.mean_node_throughput(t0, t1),
+        "hit_rate": sim.cluster.cluster_hit_rate(),
+        "disk_reads": sim.cluster.object_store.total_reads,
+        "ops": sum(c.stats.ops_completed for c in sim.clients),
+    }
+
+
+def test_ablation_inode_embedding(benchmark):
+    def both():
+        return run_with_layout(False), run_with_layout(True)
+
+    embedded, scattered = run_once(benchmark, both)
+    print()
+    print(f"directory-grain (embedded inodes): thr={embedded['throughput']:.0f}"
+          f" hit={embedded['hit_rate']:.3f}"
+          f" reads/op={embedded['disk_reads'] / embedded['ops']:.3f}")
+    print(f"inode-grain (scattered inodes):    thr={scattered['throughput']:.0f}"
+          f" hit={scattered['hit_rate']:.3f}"
+          f" reads/op={scattered['disk_reads'] / scattered['ops']:.3f}")
+
+    # embedding buys hit rate (prefetch) and fewer disk reads per op
+    assert embedded["hit_rate"] > scattered["hit_rate"]
+    assert (embedded["disk_reads"] / embedded["ops"]
+            < scattered["disk_reads"] / scattered["ops"])

@@ -1,0 +1,52 @@
+"""Ablation: traffic-control replication threshold (§5.4).
+
+The paper notes the flash-crowd response time depends on the replication
+threshold.  Sweeping it shows the trade: a low threshold replicates early
+(crowd absorbed quickly, but eager replication of mildly-popular items), a
+high threshold funnels more of the crowd through the single authority
+before relief arrives.
+"""
+
+import dataclasses
+
+from repro.experiments.builder import build_simulation
+from repro.experiments.figures import flash_config
+
+from .conftest import bench_scale, run_once
+
+THRESHOLDS = [20.0, 60.0, 100000.0]  # eager / default / effectively off
+
+
+def run_with_threshold(threshold: float):
+    cfg = flash_config(True, bench_scale())
+    cfg = cfg.replace(params=dataclasses.replace(
+        cfg.params, replicate_threshold=threshold,
+        unreplicate_threshold=min(threshold / 2,
+                                  cfg.params.unreplicate_threshold)))
+    sim = build_simulation(cfg)
+    sim.run_to(cfg.run_until_s)
+    forwards = sum(n.stats.forwards for n in sim.cluster.nodes)
+    served = sum(n.stats.ops_served for n in sim.cluster.nodes)
+    finish = max((c.stats.latencies and
+                  max(c.stats.latencies) or 0.0) for c in sim.clients)
+    return {"threshold": threshold, "forwards": forwards, "served": served,
+            "worst_latency_s": finish}
+
+
+def test_ablation_replication_threshold(benchmark):
+    def sweep():
+        return [run_with_threshold(t) for t in THRESHOLDS]
+
+    results = run_once(benchmark, sweep)
+    print()
+    for r in results:
+        print(f"threshold={r['threshold']:>8.0f}  forwards={r['forwards']:5d} "
+              f"served={r['served']:5d} "
+              f"worst_latency={r['worst_latency_s'] * 1000:.1f}ms")
+
+    eager, default, off = results
+    # the lower the threshold, the fewer requests funnel through the
+    # authority before the item is replicated
+    assert eager["forwards"] <= default["forwards"] <= off["forwards"]
+    # and the crowd clears faster
+    assert eager["worst_latency_s"] <= off["worst_latency_s"]

@@ -1,0 +1,45 @@
+"""Extension experiment A: scientific burst workload across strategies.
+
+Not a paper figure — the paper's §5.2 motivates the LLNL-style burst
+workload but only evaluates it via the flash-crowd scenario.  This bench
+runs the full alternating read-burst / checkpoint workload against all
+five strategies and asserts the consequences of the paper's arguments:
+
+* only the dynamic subtree partition replicates the shared input file, so
+  it spreads the read burst (low busiest-node share) and absorbs the most
+  total work;
+* file-grain hashing spreads the per-client checkpoint creates (§3.1.2's
+  "create activity in a single directory does not correlate to individual
+  metadata servers") so it beats the static/directory-grain strategies,
+  which funnel everything through the shared directory's one authority.
+"""
+
+from repro.experiments import extA_scientific
+
+from .conftest import run_once
+
+
+def test_extA_scientific_bursts(benchmark, scale):
+    result = run_once(benchmark, extA_scientific, scale=scale)
+    print()
+    print(result.format())
+
+    rows = {row[0]: row for row in result.rows}
+    ops = {name: row[1] for name, row in rows.items()}
+    share = {name: row[2] for name, row in rows.items()}
+    replications = {name: row[4] for name, row in rows.items()}
+
+    # dynamic subtree absorbs the most burst work, via replication
+    assert ops["DynamicSubtree"] == max(ops.values())
+    assert ops["DynamicSubtree"] > 1.5 * ops["StaticSubtree"]
+    assert replications["DynamicSubtree"] >= 1
+    assert all(replications[n] == 0 for n in rows if n != "DynamicSubtree")
+
+    # static and DirHash funnel the burst through one authority
+    assert share["StaticSubtree"] > 80.0
+    assert share["DirHash"] > 80.0
+    assert share["DynamicSubtree"] < 50.0
+
+    # file-grain hashing at least spreads the checkpoint creates
+    assert ops["FileHash"] > ops["StaticSubtree"]
+    assert ops["LazyHybrid"] > ops["StaticSubtree"]

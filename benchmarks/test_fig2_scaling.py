@@ -1,0 +1,50 @@
+"""Figure 2: average MDS throughput as the whole system scales (§5.3).
+
+Regenerates the paper's headline comparison: five partitioning strategies,
+cluster sizes swept with file-system size and client base scaling along,
+per-MDS cache fixed.  Asserts the qualitative shape:
+
+* subtree strategies (static & dynamic) outperform full-path hashing;
+* FileHash is the worst performer and degrades with scale;
+* LazyHybrid scales roughly linearly (flat per-MDS curve);
+* DirHash beats FileHash (the embedded-inode/prefetch contrast the paper
+  highlights, §5.3.1).
+"""
+
+from repro.experiments import fig2
+
+from .conftest import run_once
+
+
+def test_fig2_scaling(benchmark, scale):
+    result = run_once(benchmark, fig2, scale=scale, seeds=2)
+    print()
+    print(result.format())
+
+    series = result.series
+    sizes = [n for n, _v in series["StaticSubtree"]]
+
+    def curve(name):
+        return dict(series[name])
+
+    static = curve("StaticSubtree")
+    dynamic = curve("DynamicSubtree")
+    filehash = curve("FileHash")
+    dirhash = curve("DirHash")
+    lazy = curve("LazyHybrid")
+
+    largest = sizes[-1]
+    # subtree strategies clearly beat full-path hashing at scale
+    assert static[largest] > 1.5 * filehash[largest]
+    assert dynamic[largest] > 1.5 * filehash[largest]
+    # embedded inodes & prefetching: DirHash above FileHash
+    assert dirhash[largest] > 1.1 * filehash[largest]
+    # FileHash degrades as the system grows
+    assert filehash[largest] < filehash[sizes[0]]
+    # LazyHybrid is roughly flat (almost-linear scaling, §5.3)
+    lazy_vals = [lazy[n] for n in sizes]
+    assert max(lazy_vals) < 1.8 * min(lazy_vals)
+    # dynamic stays within a modest factor of static (balancing overhead
+    # can make static slightly better, §5.3.2)
+    for n in sizes:
+        assert dynamic[n] > 0.6 * static[n]

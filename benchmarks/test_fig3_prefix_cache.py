@@ -1,0 +1,35 @@
+"""Figure 3: fraction of MDS cache devoted to prefix inodes (§5.3.1).
+
+Hashed distributions scatter metadata, so every node must replicate the
+ancestor directories of whatever it serves; subtree partitions keep
+prefixes local and few.  Asserts:
+
+* FileHash devotes by far the largest share, growing with cluster size;
+* DirHash sits between FileHash and the subtree strategies;
+* subtree strategies stay low and roughly flat.
+"""
+
+from repro.experiments import fig3
+
+from .conftest import run_once
+
+
+def test_fig3_prefix_cache(benchmark, scale):
+    result = run_once(benchmark, fig3, scale=scale, seeds=2)
+    print()
+    print(result.format())
+
+    series = {name: dict(points) for name, points in result.series.items()}
+    sizes = sorted(series["StaticSubtree"])
+    largest, smallest = sizes[-1], sizes[0]
+
+    # hashing pays heavily for prefix replication
+    assert series["FileHash"][largest] > 2.0 * series["StaticSubtree"][largest]
+    assert series["FileHash"][largest] > series["DirHash"][largest]
+    assert series["DirHash"][largest] > series["StaticSubtree"][largest]
+    # FileHash's prefix burden grows with the cluster
+    assert series["FileHash"][largest] > series["FileHash"][smallest]
+    # subtree partitions stay in a narrow low band
+    for n in sizes:
+        assert series["StaticSubtree"][n] < 0.30
+        assert series["DynamicSubtree"][n] < 0.35

@@ -1,0 +1,39 @@
+"""Figure 4: cache hit rate vs cache size (§5.3.1).
+
+Sweeps per-node cache capacity as a fraction of total metadata with a
+fixed cluster.  Asserts:
+
+* every strategy's hit rate improves (weakly) as the cache grows;
+* hit rates converge at large caches, diverge at small ones;
+* subtree partitioning leads at small caches; LazyHybrid (no prefetch,
+  no locality) trails.
+"""
+
+from repro.experiments import fig4
+
+from .conftest import run_once
+
+FRACTIONS = [0.05, 0.15, 0.3, 0.5]
+
+
+def test_fig4_hit_rate(benchmark, scale):
+    result = run_once(benchmark, fig4, scale=scale, seeds=1,
+                      fractions=FRACTIONS)
+    print()
+    print(result.format())
+
+    series = {name: dict(points) for name, points in result.series.items()}
+    small, large = FRACTIONS[0], FRACTIONS[-1]
+
+    for name, curve in series.items():
+        assert curve[large] >= curve[small] - 0.02, name
+    # subtree beats the scattered distributions when memory is scarce
+    assert series["StaticSubtree"][small] > series["FileHash"][small]
+    assert series["StaticSubtree"][small] > series["LazyHybrid"][small]
+    assert series["DirHash"][small] > series["LazyHybrid"][small]
+    # convergence: the spread narrows as cache grows
+    spread_small = (max(c[small] for c in series.values())
+                    - min(c[small] for c in series.values()))
+    spread_large = (max(c[large] for c in series.values())
+                    - min(c[large] for c in series.values()))
+    assert spread_large < spread_small

@@ -1,0 +1,55 @@
+"""Figure 7: flash-crowd traffic control (§5.4).
+
+A large crowd of previously-ignorant clients opens the same file nearly
+simultaneously.  Asserts:
+
+* without traffic control, forwards dominate (every non-authoritative
+  node relays the request) and one node serves every reply;
+* with traffic control, the authority replicates the hot item and the
+  other nodes answer most requests themselves — fewer forwards, faster
+  crowd drain.
+"""
+
+from repro.experiments import fig7
+from repro.experiments.builder import build_simulation
+from repro.experiments.figures import flash_config
+
+from .conftest import run_once
+
+
+def test_fig7_flash_crowd(benchmark, scale):
+    result = run_once(benchmark, fig7, scale=scale)
+    print()
+    print(result.format())
+
+    off = result.series["off"]
+    on = result.series["on"]
+    off_replies = sum(r for (_t, r, _f) in off)
+    off_forwards = sum(f for (_t, _r, f) in off)
+    on_replies = sum(r for (_t, r, _f) in on)
+    on_forwards = sum(f for (_t, _r, f) in on)
+
+    assert off_replies > 0 and on_replies > 0
+    # without traffic control most requests take a forwarding hop
+    assert off_forwards > 0.5 * off_replies
+    # traffic control slashes forwarding
+    assert on_forwards < 0.5 * off_forwards
+    # and spreads the reply load: peak cluster reply rate is higher
+    assert max(r for (_t, r, _f) in on) > max(r for (_t, r, _f) in off)
+
+
+def test_flash_crowd_served_by_many_nodes_with_tc(scale):
+    cfg = flash_config(True, scale)
+    sim = build_simulation(cfg)
+    sim.run_to(cfg.run_until_s)
+    serving = [n.stats.ops_served for n in sim.cluster.nodes]
+    assert sum(1 for s in serving if s > 0) >= sim.cluster.n_mds - 1
+
+
+def test_flash_crowd_served_by_one_node_without_tc(scale):
+    cfg = flash_config(False, scale)
+    sim = build_simulation(cfg)
+    sim.run_to(cfg.run_until_s)
+    serving = sorted((n.stats.ops_served for n in sim.cluster.nodes),
+                     reverse=True)
+    assert serving[0] > 10 * max(1, serving[1])

@@ -1,0 +1,98 @@
+"""Microbenchmarks of the hot data structures and kernel.
+
+These are true pytest-benchmark measurements (many rounds): the simulator's
+throughput rests on the event calendar, the hierarchical LRU, authority
+lookups and decaying counters.
+"""
+
+import pytest
+
+from repro.cache import MetadataCache
+from repro.mds.popularity import PopularityMap
+from repro.namespace import Namespace, SnapshotSpec, generate_snapshot
+from repro.partition import make_strategy
+from repro.sim import Environment, RngStreams
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    ns = Namespace()
+    generate_snapshot(ns, SnapshotSpec(n_users=20, files_per_user=100),
+                      RngStreams(7))
+    return ns
+
+
+def test_event_loop_throughput(benchmark):
+    def run_chain():
+        env = Environment()
+
+        def ping(n):
+            for _ in range(n):
+                yield env.timeout(0.001)
+
+        env.process(ping(2000))
+        env.run()
+
+    benchmark(run_chain)
+
+
+def test_lru_insert_evict_cycle(benchmark):
+    cache = MetadataCache(512)
+    cache.insert(1, None, True)
+    cache.pin(1)
+    counter = [2]
+
+    def churn():
+        base = counter[0]
+        for i in range(1000):
+            cache.insert(base + i, 1, False)
+        counter[0] = base + 1000
+
+    benchmark(churn)
+
+
+def test_lru_hit_path(benchmark):
+    cache = MetadataCache(4096)
+    cache.insert(1, None, True)
+    for i in range(2, 2002):
+        cache.insert(i, 1, False)
+
+    def hits():
+        for i in range(2, 1002):
+            cache.get(i)
+
+    benchmark(hits)
+
+
+@pytest.mark.parametrize("name", ["DynamicSubtree", "FileHash", "DirHash"])
+def test_authority_lookup(benchmark, snapshot, name):
+    strat = make_strategy(name, 16)
+    strat.bind(snapshot)
+    inos = [node.ino for node in snapshot.iter_subtree(1)][:500]
+
+    def lookups():
+        for ino in inos:
+            strat.authority_of_ino(ino)
+
+    benchmark(lookups)
+
+
+def test_namespace_resolve(benchmark, snapshot):
+    paths = [snapshot.path_of(node.ino)
+             for node in snapshot.iter_subtree(1)][:500]
+
+    def resolves():
+        for path in paths:
+            snapshot.resolve(path)
+
+    benchmark(resolves)
+
+
+def test_popularity_counter_updates(benchmark):
+    pm = PopularityMap(1.0)
+
+    def updates():
+        for i in range(1000):
+            pm.add(i % 50, i * 0.001)
+
+    benchmark(updates)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Data-placement demo: clients compute file layouts without the MDS.
+
+§2.1.1's design: once a client holds a file's inode number, it can compute
+the identity and location of every object of the file — striping, replica
+sets, everything — with no further MDS interaction, because placement is a
+deterministic pseudo-random function.  This demo shows the computation, the
+balance it achieves, and the minimal data movement when the OSD pool grows.
+
+Run:  python examples/data_placement.py
+"""
+
+from collections import Counter
+
+from repro.metrics import format_table
+from repro.placement import (Device, FileMapper, StableHashPlacement,
+                             StripeLayout)
+
+
+def main() -> None:
+    layout = StripeLayout(object_size=4 << 20, n_replicas=3)
+    placement = StableHashPlacement.uniform(12)
+    mapper = FileMapper(placement, layout)
+
+    # --- one file's complete map, straight from (ino, size) --------------
+    ino, size = 0x2A7, 18 << 20  # an 18 MiB file
+    extents = mapper.map_file(ino, size)
+    rows = [[f"{e.object_id:#x}", f"{e.file_offset >> 20} MiB",
+             f"{e.length >> 20 or 1} MiB",
+             " ".join(f"osd{d}" for d in e.osds)] for e in extents]
+    print(format_table(
+        ["object", "offset", "length", "replicas (primary first)"], rows,
+        title=f"Layout of ino {ino:#x} ({size >> 20} MiB), computed "
+              "client-side"))
+
+    # --- balance across the pool -----------------------------------------
+    counts = Counter()
+    n_files = 2000
+    for f in range(n_files):
+        for extent in mapper.map_file(1000 + f, 8 << 20):
+            for osd in extent.osds:
+                counts[osd] += 1
+    mean = sum(counts.values()) / len(placement.devices)
+    spread = (max(counts.values()) - min(counts.values())) / mean
+    print(f"\n{n_files} files x 2 objects x 3 replicas over 12 OSDs: "
+          f"per-OSD load within {100 * spread:.1f}% of mean")
+
+    # --- expansion: only the fair share moves ------------------------------
+    grown = placement.expanded([Device(12), Device(13), Device(14)])
+    grown_mapper = FileMapper(grown, layout)
+    moved = total = 0
+    for f in range(n_files):
+        before = mapper.map_file(1000 + f, 8 << 20)
+        after = grown_mapper.map_file(1000 + f, 8 << 20)
+        for old, new in zip(before, after):
+            total += 1
+            if old.osds[0] != new.osds[0]:
+                moved += 1
+    print(f"adding 3 OSDs (25% more capacity) moved "
+          f"{100 * moved / total:.1f}% of primaries "
+          "(ideal: 20% — new capacity's share)")
+
+    # --- the MDS-side cost ---------------------------------------------------
+    print("\nMDS metadata required for all of this: the inode number and "
+          "file size.\nNo block lists, no object tables — the paper's "
+          '"fixed size of only a few bytes".')
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: build an MDS cluster, run a workload, read the results.
+
+This walks the public API end to end:
+
+1. generate a synthetic file-system snapshot;
+2. pick a partitioning strategy and build the simulated MDS cluster;
+3. attach a population of general-purpose clients;
+4. run for a few simulated seconds and print what happened.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.clients import Client, GeneralWorkload, GeneralWorkloadSpec
+from repro.mds import MdsCluster, SimParams
+from repro.metrics import format_table
+from repro.namespace import Namespace, SnapshotSpec, generate_snapshot
+from repro.partition import make_strategy
+from repro.sim import Environment, RngStreams
+
+
+def main() -> None:
+    env = Environment()
+    streams = RngStreams(master_seed=42)
+
+    # 1. the file system: a collection of home directories plus /usr
+    ns = Namespace()
+    snapshot = generate_snapshot(
+        ns, SnapshotSpec(n_users=24, files_per_user=80), streams)
+    print(f"namespace: {snapshot.n_files} files, {snapshot.n_dirs} dirs, "
+          f"max depth {snapshot.max_depth_seen}")
+
+    # 2. the metadata cluster: 4 servers, dynamic subtree partitioning
+    strategy = make_strategy("DynamicSubtree", n_mds=4)
+    strategy.bind(ns)
+    params = SimParams(cache_capacity=500, journal_capacity=500)
+    cluster = MdsCluster(env, ns, strategy, params)
+    cluster.start()
+
+    # 3. eighty clients working in their home directories
+    workload = GeneralWorkload(ns, snapshot.user_roots,
+                               GeneralWorkloadSpec(think_time_s=0.01))
+    clients = [Client(env, i, cluster, workload,
+                      streams.py_stream(f"client.{i}")) for i in range(80)]
+    for client in clients:
+        client.start()
+
+    # 4. simulate five seconds, then report
+    env.run(until=5.0)
+
+    rows = []
+    for node in cluster.nodes:
+        s = node.stats
+        rows.append([
+            f"mds{node.node_id}",
+            s.ops_served,
+            s.forwards,
+            f"{s.hit_rate:.3f}",
+            f"{node.cache.prefix_fraction():.3f}",
+            len(node.cache),
+        ])
+    print()
+    print(format_table(
+        ["node", "ops served", "forwards", "hit rate", "prefix frac",
+         "cached inodes"], rows, title="Per-MDS results after 5 s"))
+
+    total_ops = sum(c.stats.ops_completed for c in clients)
+    mean_latency = (sum(c.stats.total_latency_s for c in clients)
+                    / max(1, total_ops))
+    print()
+    print(f"cluster throughput : {total_ops / 5.0:,.0f} ops/s")
+    print(f"mean client latency: {mean_latency * 1000:.2f} ms")
+    print(f"cluster hit rate   : {cluster.cluster_hit_rate():.3f}")
+    print(f"forward fraction   : {cluster.forward_fraction():.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Scientific-computing workload demo: shared-file and checkpoint bursts.
+
+Models the LLNL-style behaviour the paper's evaluation draws on (§5.2):
+a cluster of compute clients alternates between opening the same input
+file in unison, computing, and writing per-client checkpoints into one
+shared directory.  The demo shows how the burst phases land on the MDS
+cluster and how traffic control reacts to the shared-file burst.
+
+Run:  python examples/scientific_burst.py
+"""
+
+from repro.clients import Client, ScientificSpec, ScientificWorkload
+from repro.mds import MdsCluster, SimParams
+from repro.metrics import format_table
+from repro.namespace import Namespace, SnapshotSpec, generate_snapshot
+from repro.namespace import path as pathmod
+from repro.partition import make_strategy
+from repro.sim import Environment, RngStreams
+
+N_MDS = 4
+N_CLIENTS = 120
+PHASE_LEN_S = 1.0
+
+
+def main() -> None:
+    env = Environment()
+    streams = RngStreams(23)
+    ns = Namespace()
+    snapshot = generate_snapshot(
+        ns, SnapshotSpec(n_users=8, files_per_user=40), streams)
+
+    strategy = make_strategy("DynamicSubtree", N_MDS)
+    strategy.bind(ns)
+    cluster = MdsCluster(env, ns, strategy,
+                         SimParams(replicate_threshold=100.0))
+    cluster.start()
+
+    shared_dir = snapshot.user_roots[0]
+    workload = ScientificWorkload(ns, shared_dir,
+                                  ScientificSpec(phase_len_s=PHASE_LEN_S))
+    for i in range(N_CLIENTS):
+        Client(env, i, cluster, workload,
+               streams.py_stream(f"rank{i}")).start()
+
+    phase_names = {0: "shared-file open burst", 1: "compute",
+                   2: "checkpoint creates", 3: "compute"}
+    rows = []
+    for step in range(8):
+        t0, t1 = step * PHASE_LEN_S, (step + 1) * PHASE_LEN_S
+        env.run(until=t1)
+        served = sum(s.served_by_time.count_in(t0, t1)
+                     for s in cluster.node_stats())
+        hot = "yes" if cluster.hot_inos else "no"
+        rows.append([f"{t0:.0f}-{t1:.0f}s",
+                     phase_names[workload.phase_at(t0 + 0.01)],
+                     f"{served / PHASE_LEN_S:.0f}", hot])
+
+    print(format_table(
+        ["window", "phase", "cluster ops/s", "hot metadata replicated"],
+        rows,
+        title=f"{N_CLIENTS} compute clients against "
+              f"{pathmod.format_path(shared_dir)}"))
+
+    ckpts = sum(1 for name in ns.readdir(shared_dir)
+                if name.startswith("ckpt."))
+    print(f"\ncheckpoints created in the shared directory: {ckpts}")
+    input_ino = ns.resolve(workload.input_file).ino
+    replicas = sum(1 for node in cluster.nodes
+                   if input_ino in node.cache)
+    print(f"input file cached on {replicas}/{N_MDS} nodes "
+          f"(traffic control replicates it during open bursts)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Directory-object snapshots demo (§4.6).
+
+The long-term metadata tier stores each directory as a copy-on-write
+B-tree object; because mutations never modify old nodes, freezing a
+snapshot costs O(1) and old states stay readable forever.  This demo
+builds a project directory, snapshots it through a series of edits, and
+then reads every historical state back — plus shows the incremental
+write cost (B-tree nodes rewritten) that the paper's "minimal
+modifications to on-disk structures" refers to.
+
+Run:  python examples/snapshots.py
+"""
+
+from repro.metrics import format_table
+from repro.namespace import Namespace, build_tree
+from repro.namespace import path as pathmod
+from repro.storage.dirstore import DirectoryObjectStore
+
+
+def main() -> None:
+    ns = Namespace()
+    build_tree(ns, {"proj": {f"src{i:02d}.c": 100 + i for i in range(40)}})
+    store = DirectoryObjectStore(min_degree=4)
+    store.load_from_namespace(ns)
+    proj_path = pathmod.parse("/proj")
+    proj = ns.resolve(proj_path).ino
+
+    print(f"/proj holds {store.entry_count(proj)} entries in a B-tree of "
+          f"depth {store.object_depth(proj)}\n")
+
+    history = []
+    edits = [
+        ("v1", "create notes.txt",
+         lambda: store.apply_create(
+             proj, "notes.txt", ns.create_file(proj_path + ("notes.txt",),
+                                               size=1))),
+        ("v2", "delete src00.c",
+         lambda: (ns.unlink(proj_path + ("src00.c",)),
+                  store.apply_unlink(proj, "src00.c"))[-1]),
+        ("v3", "grow notes.txt to 4096",
+         lambda: store.apply_update(
+             proj, "notes.txt",
+             ns.setattr(proj_path + ("notes.txt",), size=4096))),
+        ("v4", "create 10 results files",
+         lambda: sum(store.apply_create(
+             proj, f"res{i}.dat",
+             ns.create_file(proj_path + (f"res{i}.dat",), size=8))
+             for i in range(10))),
+    ]
+
+    store.snapshot_directory(proj, "v0")
+    rows = [["v0", "(baseline)", 0, store.entry_count(proj)]]
+    for tag, description, apply in edits:
+        nodes_written = apply()
+        store.snapshot_directory(proj, tag)
+        rows.append([tag, description, nodes_written,
+                     store.entry_count(proj)])
+        history.append(tag)
+
+    print(format_table(
+        ["snapshot", "edit", "B-tree nodes rewritten", "entries after"],
+        rows, title="Edit history (each snapshot froze in O(1))"))
+
+    print()
+    for tag in ["v0"] + history:
+        names = [n for n, _e in store.read_snapshot(proj, tag)]
+        marker = []
+        if "notes.txt" in names:
+            size = dict(store.read_snapshot(proj, tag))["notes.txt"].size
+            marker.append(f"notes.txt={size}B")
+        if "src00.c" not in names:
+            marker.append("src00.c gone")
+        if any(n.startswith("res") for n in names):
+            marker.append("results present")
+        print(f"  {tag}: {len(names):2d} entries   {', '.join(marker)}")
+
+    live = {n for n, _e in store.readdir(proj)}
+    v0 = {n for n, _e in store.read_snapshot(proj, "v0")}
+    print(f"\nlive != v0: {len(live - v0)} added, {len(v0 - live)} removed "
+          "— every snapshot stayed intact while the live tree moved on")
+    store.verify_against(ns)
+    print("store verified against the live namespace")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Trace record/replay demo: one workload, replayed on every strategy.
+
+Records a general-purpose run once, then replays the *identical* operation
+stream against all five partitioning strategies — the controlled,
+apples-to-apples comparison the paper's future-work section calls for with
+real traces.  Because replay preserves per-client timing, the differences
+below come only from how each strategy distributes the metadata.
+
+Run:  python examples/trace_replay.py
+"""
+
+import io
+
+from repro.clients import Client, GeneralWorkload, GeneralWorkloadSpec
+from repro.mds import MdsCluster, SimParams
+from repro.metrics import format_table, summarize
+from repro.namespace import Namespace, SnapshotSpec, generate_snapshot
+from repro.partition import make_strategy, strategy_names
+from repro.sim import Environment, RngStreams
+from repro.trace import RecordingWorkload, Trace, TraceReplayWorkload
+
+SEED = 31
+N_MDS = 4
+N_CLIENTS = 32
+RECORD_UNTIL = 4.0
+
+
+def build_cluster(strategy_name):
+    env = Environment()
+    streams = RngStreams(SEED)
+    ns = Namespace()
+    snapshot = generate_snapshot(
+        ns, SnapshotSpec(n_users=12, files_per_user=50), streams)
+    strategy = make_strategy(strategy_name, N_MDS)
+    strategy.bind(ns)
+    cluster = MdsCluster(env, ns, strategy,
+                         SimParams(cache_capacity=350, journal_capacity=350))
+    cluster.start()
+    return env, streams, ns, snapshot, cluster
+
+
+def record() -> Trace:
+    env, streams, ns, snapshot, cluster = build_cluster("DynamicSubtree")
+    workload = RecordingWorkload(
+        GeneralWorkload(ns, snapshot.user_roots,
+                        GeneralWorkloadSpec(think_time_s=0.02)))
+    for i in range(N_CLIENTS):
+        Client(env, i, cluster, workload, streams.py_stream(f"c{i}")).start()
+    env.run(until=RECORD_UNTIL)
+    return workload.trace
+
+
+def replay(trace: Trace, strategy_name: str):
+    env, streams, ns, snapshot, cluster = build_cluster(strategy_name)
+    workload = TraceReplayWorkload(trace)
+    clients = [Client(env, i, cluster, workload, streams.py_stream(f"c{i}"))
+               for i in sorted(trace.clients())]
+    for client in clients:
+        client.start()
+    env.run(until=RECORD_UNTIL + 2.0)
+    latencies = [l for c in clients for l in c.stats.latencies]
+    return {
+        "completed": sum(c.stats.ops_completed for c in clients),
+        "latency": summarize(latencies),
+        "hit_rate": cluster.cluster_hit_rate(),
+        "forwarded": cluster.forward_fraction(),
+    }
+
+
+def main() -> None:
+    print("recording a general-purpose run ...")
+    trace = record()
+    buffer = io.StringIO()
+    trace.dump(buffer)
+    print(f"captured {len(trace)} operations from {len(trace.clients())} "
+          f"clients over {trace.duration():.1f}s "
+          f"({len(buffer.getvalue()) // 1024} KiB as JSONL)\n")
+
+    rows = []
+    for name in strategy_names():
+        print(f"replaying on {name} ...")
+        result = replay(trace, name)
+        lat = result["latency"]
+        rows.append([name, result["completed"],
+                     f"{lat.p50 * 1000:.2f}", f"{lat.p99 * 1000:.2f}",
+                     f"{result['hit_rate']:.3f}",
+                     f"{100 * result['forwarded']:.2f}%"])
+    print()
+    print(format_table(
+        ["strategy", "ops replayed", "p50 ms", "p99 ms", "hit rate",
+         "forwarded"],
+        rows, title="Identical trace, five partitioning strategies"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""MDS cache substrate (S4 in DESIGN.md).
+
+:class:`MetadataCache` — LRU with the hierarchical leaf-only-eviction
+constraint of §4.1, mid-LRU prefetch insertion of §4.5, and the slot census
+behind Fig. 3.  :class:`ReplicaRegistry` — authority-side replica tracking
+for the collaborative caching protocol of §4.2.
+"""
+
+from .coherence import ReplicaRegistry
+from .lru import CacheCounters, CacheEntry, MetadataCache
+
+__all__ = [
+    "CacheCounters",
+    "CacheEntry",
+    "MetadataCache",
+    "ReplicaRegistry",
+]

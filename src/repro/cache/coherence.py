@@ -1,0 +1,57 @@
+"""Authority-side replica tracking for collaborative caching (§4.2).
+
+The authoritative MDS for a piece of metadata must know which peers hold
+replicas so it can (a) push invalidations/updates when the record changes
+and (b) free its own copy only once no replica remains outstanding.  This
+module is the bookkeeping only; the message costs live in the MDS layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set
+
+
+@dataclass
+class ReplicaRegistry:
+    """Tracks, per inode, which MDS nodes hold replicas."""
+
+    _holders: Dict[int, Set[int]] = field(default_factory=dict)
+
+    def register(self, ino: int, mds_id: int) -> None:
+        """Record that ``mds_id`` now replicates ``ino``."""
+        self._holders.setdefault(ino, set()).add(mds_id)
+
+    def unregister(self, ino: int, mds_id: int) -> None:
+        """Record that ``mds_id`` dropped its replica of ``ino``.
+
+        Idempotent: peers may notify after a local eviction the authority
+        already learned about through another path.
+        """
+        holders = self._holders.get(ino)
+        if holders is None:
+            return
+        holders.discard(mds_id)
+        if not holders:
+            del self._holders[ino]
+
+    def holders(self, ino: int) -> FrozenSet[int]:
+        """Current replica holders of ``ino`` (possibly empty)."""
+        return frozenset(self._holders.get(ino, ()))
+
+    def is_replicated(self, ino: int) -> bool:
+        return bool(self._holders.get(ino))
+
+    def drop_ino(self, ino: int) -> FrozenSet[int]:
+        """Forget all holders of ``ino`` (authority migrating it away)."""
+        return frozenset(self._holders.pop(ino, ()))
+
+    def replicated_inos(self) -> FrozenSet[int]:
+        return frozenset(self._holders)
+
+    def drop_all(self) -> None:
+        """Forget everything (node failure loses volatile state)."""
+        self._holders.clear()
+
+    def __len__(self) -> int:
+        return len(self._holders)

@@ -1,0 +1,293 @@
+"""MDS metadata cache: LRU with the hierarchical tree constraint (§4.1).
+
+Each MDS caches a *connected* subset of the hierarchy: an inode may only be
+cached while its parent directory is cached, and a directory may not be
+evicted while any child is cached ("only leaf items may be expired").  The
+constraint is enforced with per-entry pin counts: caching a child pins its
+parent; eviction considers only unpinned entries.
+
+Two paper-specific behaviours:
+
+* **Mid-LRU insertion of prefetched inodes** (§4.5): entries brought in by a
+  directory prefetch are placed at the cold end of the eviction order so
+  speculative data cannot displace known-useful data.
+* **Category accounting** (§5.3.1 / Fig. 3): the cache can report how many
+  slots are devoted to prefix (ancestor) directory inodes, and how many hold
+  replicas of metadata another MDS is authoritative for.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class CacheEntry:
+    """One cached inode."""
+
+    ino: int
+    parent_ino: Optional[int]  # None only for the root
+    is_dir: bool
+    replica: bool = False      # cached copy of another MDS's metadata
+    pin_count: int = 0         # cached children pinning this entry
+    external_pins: int = 0     # delegation anchors, in-flight operations
+    dirty: bool = False
+
+    @property
+    def pinned(self) -> bool:
+        return self.pin_count > 0 or self.external_pins > 0
+
+    @property
+    def is_prefix(self) -> bool:
+        """A directory held (at least in part) to anchor cached descendants."""
+        return self.is_dir and self.pinned
+
+
+@dataclass
+class CacheCounters:
+    """Monotonic cache activity counters."""
+
+    insertions: int = 0
+    evictions: int = 0
+    prefetch_insertions: int = 0
+
+
+class MetadataCache:
+    """Bounded inode cache with leaf-only eviction.
+
+    ``capacity`` is in inode slots — metadata records are near-uniform in
+    size, so slot-counting matches the paper's "cache size relative to total
+    metadata size" axis directly.
+
+    If every entry is pinned the cache temporarily overflows rather than
+    deadlocking; pressure resolves as pins are released.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.counters = CacheCounters()
+        self._entries: Dict[int, CacheEntry] = {}
+        #: eviction order over *unpinned* entries; first key = coldest.
+        self._lru: "OrderedDict[int, None]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, ino: int) -> bool:
+        return ino in self._entries
+
+    def get(self, ino: int, *, touch: bool = True) -> Optional[CacheEntry]:
+        """Entry for ``ino``, refreshing its recency unless ``touch=False``."""
+        entry = self._entries.get(ino)
+        if entry is not None and touch and ino in self._lru:
+            self._lru.move_to_end(ino)
+        return entry
+
+    def entries(self) -> Iterator[CacheEntry]:
+        return iter(self._entries.values())
+
+    @property
+    def overflowed(self) -> bool:
+        return len(self._entries) > self.capacity
+
+    # -- accounting (Fig. 3) ------------------------------------------------
+    def slot_census(self) -> Dict[str, int]:
+        """Occupancy by category: local/replica × prefix/leaf."""
+        census = {"local_prefix": 0, "local_other": 0,
+                  "replica_prefix": 0, "replica_other": 0}
+        for entry in self._entries.values():
+            kind = "replica" if entry.replica else "local"
+            part = "prefix" if entry.is_prefix else "other"
+            census[f"{kind}_{part}"] += 1
+        return census
+
+    def prefix_fraction(self) -> float:
+        """Fraction of occupied slots holding prefix (ancestor) inodes."""
+        if not self._entries:
+            return 0.0
+        prefixes = sum(1 for e in self._entries.values() if e.is_prefix)
+        return prefixes / len(self._entries)
+
+    def replica_fraction(self) -> float:
+        """Fraction of occupied slots holding replicated metadata."""
+        if not self._entries:
+            return 0.0
+        replicas = sum(1 for e in self._entries.values() if e.replica)
+        return replicas / len(self._entries)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, ino: int, parent_ino: Optional[int], is_dir: bool, *,
+               replica: bool = False,
+               prefetched: bool = False) -> List[CacheEntry]:
+        """Cache ``ino``; returns the entries evicted to make room.
+
+        The parent must already be cached (insert prefixes root-first); it
+        gets pinned by this child.  Re-inserting an existing ino refreshes
+        recency and downgrades ``replica`` status if the new insert is
+        authoritative (an MDS can become the authority for metadata it
+        already replicates, never the other way around implicitly).
+        """
+        existing = self._entries.get(ino)
+        if existing is not None:
+            if not replica:
+                existing.replica = False
+            if ino in self._lru and not prefetched:
+                self._lru.move_to_end(ino)
+            return []
+
+        if parent_ino is not None:
+            parent = self._entries.get(parent_ino)
+            if parent is None:
+                raise KeyError(
+                    f"cannot cache ino {ino}: parent {parent_ino} not cached"
+                    " (hierarchical constraint)")
+            self._pin_internal(parent)
+
+        entry = CacheEntry(ino=ino, parent_ino=parent_ino, is_dir=is_dir,
+                           replica=replica)
+        self._entries[ino] = entry
+        self._lru[ino] = None
+        if prefetched:
+            # Cold-end insertion: first in line for eviction.
+            self._lru.move_to_end(ino, last=False)
+            self.counters.prefetch_insertions += 1
+        self.counters.insertions += 1
+
+        return self._shrink(exclude=ino)
+
+    def pin(self, ino: int) -> None:
+        """Add an external pin (delegation anchor / in-flight op)."""
+        entry = self._entries[ino]
+        entry.external_pins += 1
+        if entry.external_pins == 1 and entry.pin_count == 0:
+            self._lru.pop(ino, None)
+
+    def unpin(self, ino: int) -> List[CacheEntry]:
+        """Release an external pin.
+
+        If the cache had overflowed while everything was pinned, releasing a
+        pin resolves the pressure immediately; the evicted entries are
+        returned so the caller can send any replica-drop notices.
+        """
+        entry = self._entries[ino]
+        if entry.external_pins <= 0:
+            raise RuntimeError(f"unpin without pin for ino {ino}")
+        entry.external_pins -= 1
+        if not entry.pinned:
+            self._make_evictable(entry, cold=False)
+        return self._shrink()
+
+    def remove(self, ino: int) -> CacheEntry:
+        """Forcibly drop an unpinned entry (migration / invalidation)."""
+        entry = self._entries.get(ino)
+        if entry is None:
+            raise KeyError(f"ino {ino} not cached")
+        if entry.pin_count > 0:
+            raise RuntimeError(
+                f"cannot remove ino {ino}: {entry.pin_count} cached children")
+        if entry.external_pins > 0:
+            raise RuntimeError(
+                f"cannot remove ino {ino}: {entry.external_pins} external "
+                "pins (open handles / delegation anchors)")
+        del self._entries[ino]
+        self._lru.pop(ino, None)
+        self._unpin_parent(entry)
+        return entry
+
+    def collect_subtree(self, root_ino: int) -> List[CacheEntry]:
+        """Cached entries at/under ``root_ino``, deepest first.
+
+        Depth ordering means callers can remove them in sequence without
+        violating the pin constraint.  Walks the *cached* parent pointers, so
+        the result is exactly the cached fragment of the subtree.
+        """
+        if root_ino not in self._entries:
+            return []
+        members: List[tuple[int, CacheEntry]] = []
+        for entry in self._entries.values():
+            depth = 0
+            node: Optional[CacheEntry] = entry
+            found = entry.ino == root_ino
+            while not found and node is not None and node.parent_ino is not None:
+                node = self._entries.get(node.parent_ino)
+                depth += 1
+                if node is not None and node.ino == root_ino:
+                    found = True
+            if found:
+                members.append((depth, entry))
+        members.sort(key=lambda pair: -pair[0])
+        return [entry for _depth, entry in members]
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _pin_internal(self, parent: CacheEntry) -> None:
+        parent.pin_count += 1
+        if parent.pin_count == 1 and parent.external_pins == 0:
+            self._lru.pop(parent.ino, None)
+
+    def _unpin_parent(self, child: CacheEntry) -> None:
+        if child.parent_ino is None:
+            return
+        parent = self._entries.get(child.parent_ino)
+        if parent is None:
+            return
+        parent.pin_count -= 1
+        if not parent.pinned:
+            # A directory whose last cached child left is cold: put it at
+            # the eviction end so chains drain bottom-up.
+            self._make_evictable(parent, cold=True)
+
+    def _make_evictable(self, entry: CacheEntry, *, cold: bool) -> None:
+        self._lru[entry.ino] = None
+        if cold:
+            self._lru.move_to_end(entry.ino, last=False)
+
+    def _shrink(self, exclude: Optional[int] = None) -> List[CacheEntry]:
+        """Evict until within capacity (or nothing evictable remains)."""
+        evicted: List[CacheEntry] = []
+        while len(self._entries) > self.capacity:
+            victim = self._evict_one(exclude=exclude)
+            if victim is None:
+                break  # everything pinned: tolerate overflow
+            evicted.append(victim)
+        return evicted
+
+    def _evict_one(self, exclude: Optional[int] = None) -> Optional[CacheEntry]:
+        for ino in self._lru:
+            if ino != exclude:
+                victim = self._entries.pop(ino)
+                del self._lru[ino]
+                self._unpin_parent(victim)
+                self.counters.evictions += 1
+                return victim
+        return None
+
+    # ------------------------------------------------------------------
+    # invariants (for property-based tests)
+    # ------------------------------------------------------------------
+    def verify_invariants(self) -> None:
+        """Raise ``AssertionError`` on internal inconsistency."""
+        pin_counts: Dict[int, int] = {}
+        for entry in self._entries.values():
+            if entry.parent_ino is not None:
+                assert entry.parent_ino in self._entries, (
+                    f"ino {entry.ino}: parent {entry.parent_ino} not cached")
+                pin_counts[entry.parent_ino] = (
+                    pin_counts.get(entry.parent_ino, 0) + 1)
+        for entry in self._entries.values():
+            assert entry.pin_count == pin_counts.get(entry.ino, 0), (
+                f"ino {entry.ino}: pin_count {entry.pin_count} != "
+                f"{pin_counts.get(entry.ino, 0)} cached children")
+            in_lru = entry.ino in self._lru
+            assert in_lru == (not entry.pinned), (
+                f"ino {entry.ino}: pinned={entry.pinned} but in_lru={in_lru}")

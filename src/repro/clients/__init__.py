@@ -1,0 +1,28 @@
+"""Client population and workload generators (S11 in DESIGN.md)."""
+
+from .client import Client, ClientStats, Workload
+from .dynamic import SHIFTED_MIX, ShiftSpec, ShiftingWorkload
+from .flashcrowd import FlashCrowdSpec, FlashCrowdWorkload
+from .general import GeneralWorkload, GeneralWorkloadSpec
+from .location import LocationCache
+from .opmix import GENERAL_MIX, SCALING_MIX, OpMix
+from .scientific import ScientificSpec, ScientificWorkload
+
+__all__ = [
+    "Client",
+    "ClientStats",
+    "FlashCrowdSpec",
+    "FlashCrowdWorkload",
+    "GENERAL_MIX",
+    "GeneralWorkload",
+    "GeneralWorkloadSpec",
+    "LocationCache",
+    "OpMix",
+    "SCALING_MIX",
+    "SHIFTED_MIX",
+    "ScientificSpec",
+    "ScientificWorkload",
+    "ShiftSpec",
+    "ShiftingWorkload",
+    "Workload",
+]

@@ -1,0 +1,106 @@
+"""The simulated client: a closed loop of think time and metadata requests.
+
+Each client keeps one request outstanding (closed-loop), with exponential
+think times between requests, so cluster throughput emerges from service
+capacity rather than being injected.  Clients route requests themselves:
+hash strategies let them compute the authority; subtree strategies leave
+them to their :class:`~repro.clients.location.LocationCache` (deepest known
+prefix), learning from the distribution info replies carry (§4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, List, Optional, Protocol
+
+from ..mds import MdsCluster, MdsReply, MdsRequest
+from ..sim import Environment, Event
+from .location import LocationCache
+
+
+@dataclass
+class ClientStats:
+    """Per-client activity record."""
+
+    ops_completed: int = 0
+    errors: int = 0
+    forwards_seen: int = 0
+    total_latency_s: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def mean_latency_s(self) -> float:
+        return (self.total_latency_s / self.ops_completed
+                if self.ops_completed else 0.0)
+
+
+class Workload(Protocol):
+    """What a workload generator must provide."""
+
+    def next_op(self, client: "Client") -> Optional[MdsRequest]:
+        """The client's next request, or ``None`` to idle one think period."""
+
+    def next_delay(self, client: "Client") -> float:
+        """Think time before the next request."""
+
+
+class Client:
+    """One simulated file-system client."""
+
+    def __init__(self, env: Environment, client_id: int, cluster: MdsCluster,
+                 workload: Workload, rng, uid: Optional[int] = None) -> None:
+        self.env = env
+        self.client_id = client_id
+        self.cluster = cluster
+        self.workload = workload
+        self.rng = rng
+        self.uid = uid if uid is not None else client_id
+        self.locations = LocationCache()
+        self.stats = ClientStats()
+        self.last_opened = None      # path of the most recent OPEN
+        self.last_opened_ino = None  # its handle (passed back on CLOSE)
+        self.scratch: dict = {}      # per-client workload state
+
+    def start(self) -> None:
+        self.env.process(self.run())
+
+    def run(self) -> Generator[Event, Any, None]:
+        while True:
+            delay = self.workload.next_delay(self)
+            if delay > 0:
+                yield self.env.timeout(delay)
+            request = self.workload.next_op(self)
+            if request is None:
+                continue
+            request.client_id = self.client_id
+            request.uid = self.uid
+            dest = self._destination(request)
+            done = self.cluster.submit(dest, request)
+            reply: MdsReply = yield done
+            self._absorb(request, reply)
+
+    # ------------------------------------------------------------------
+    def _destination(self, request: MdsRequest) -> int:
+        computed = self.cluster.strategy.client_locate(
+            request.path, dir_hint=request.dir_hint)
+        if computed is not None:
+            return computed
+        return self.locations.choose_destination(
+            request.path, self.rng, self.cluster.n_mds)
+
+    def _absorb(self, request: MdsRequest, reply: MdsReply) -> None:
+        self.stats.ops_completed += 1
+        self.stats.total_latency_s += reply.latency_s
+        self.stats.latencies.append(reply.latency_s)
+        self.stats.forwards_seen += reply.forwarded
+        if not reply.ok:
+            self.stats.errors += 1
+            # stale knowledge may have misrouted us; drop the deepest hint
+            prefix, _loc = self.locations.deepest_known(request.path)
+            self.locations.forget(prefix)
+            return
+        self.locations.learn_all(reply.locations)
+        from ..mds.messages import OpType
+        if request.op is OpType.OPEN:
+            self.last_opened = request.path
+            self.last_opened_ino = reply.target_ino

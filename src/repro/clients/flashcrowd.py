@@ -1,0 +1,65 @@
+"""Flash-crowd workload (Fig. 7 scenario, §5.4).
+
+Thousands of clients request the *same file* nearly simultaneously, having
+never seen it before — so under subtree partitioning their requests land on
+random nodes (their only knowledge is that the root is everywhere).
+Without traffic control every node forwards to the authority; with it, the
+authority replicates the item cluster-wide and all nodes absorb the crowd.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..mds import MdsRequest, OpType
+from ..namespace import Namespace
+from ..namespace.path import Path
+from .client import Client
+
+#: sentinel "sleep forever" delay for clients that finished their burst
+IDLE_S = 1e9
+
+
+@dataclass
+class FlashCrowdSpec:
+    """Shape of the crowd."""
+
+    start_s: float = 1.0          # when the crowd hits
+    arrival_jitter_s: float = 0.05  # clients arrive within this window
+    requests_per_client: int = 5  # opens each client performs
+    repeat_think_s: float = 0.01  # think time between a client's repeats
+
+
+class FlashCrowdWorkload:
+    """Every client opens one target file in a tight window."""
+
+    def __init__(self, ns: Namespace, target: Path,
+                 spec: FlashCrowdSpec = FlashCrowdSpec()) -> None:
+        node = ns.try_resolve(target)
+        if node is None or not node.is_file:
+            raise ValueError("flash-crowd target must be an existing file")
+        self.ns = ns
+        self.target = target
+        self.spec = spec
+
+    # ------------------------------------------------------------------
+    # Workload protocol
+    # ------------------------------------------------------------------
+    def next_delay(self, client: Client) -> float:
+        state = client.scratch.setdefault("flash", {"sent": 0})
+        if state["sent"] >= self.spec.requests_per_client:
+            return IDLE_S
+        if state["sent"] == 0:
+            offset = (self.spec.start_s - client.env.now
+                      + client.rng.random() * self.spec.arrival_jitter_s)
+            return max(0.0, offset)
+        return client.rng.expovariate(1.0 / self.spec.repeat_think_s)
+
+    def next_op(self, client: Client) -> Optional[MdsRequest]:
+        state = client.scratch["flash"]
+        if state["sent"] >= self.spec.requests_per_client:
+            return None
+        state["sent"] += 1
+        return MdsRequest(op=OpType.OPEN, path=self.target,
+                          client_id=client.client_id)

@@ -1,0 +1,230 @@
+"""General-purpose workload (§5.2).
+
+Clients behave like the paper's generated general-purpose clients: each
+works inside a home subtree (the snapshot is "a large collection of home
+directories"), operates mostly on its current directory with occasional
+moves — the Floyd/Ellis directory-locality pattern [6] — and sometimes
+touches the shared ``/usr`` software tree.  Op frequencies come from an
+:class:`~repro.clients.opmix.OpMix` approximating Roselli et al. [19].
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..mds import MdsRequest, OpType
+from ..namespace import Namespace
+from ..namespace import path as pathmod
+from ..namespace.path import Path
+from .client import Client
+from .opmix import GENERAL_MIX, OpMix
+
+
+@dataclass
+class GeneralWorkloadSpec:
+    """Knobs of the general-purpose client behaviour."""
+
+    think_time_s: float = 0.05
+    move_dir_prob: float = 0.15     # chance to change cwd before an op
+    shared_tree_prob: float = 0.05  # chance an op targets /usr instead
+    dir_chmod_fraction: float = 0.10  # fraction of chmods aimed at dirs
+    mkdir_fraction: float = 0.05    # fraction of creates that make dirs
+    max_open_files: int = 6        # per-client fd-table bound: when full,
+                                   # the oldest handle is closed before a
+                                   # new open (opens never leak)
+    op_weights: Dict[OpType, float] = field(
+        default_factory=lambda: dict(GENERAL_MIX))
+
+
+class GeneralWorkload:
+    """Shared workload object; per-client state lives in ``client.scratch``."""
+
+    def __init__(self, ns: Namespace, user_roots: List[Path],
+                 spec: GeneralWorkloadSpec = GeneralWorkloadSpec(),
+                 shared_roots: Optional[List[Path]] = None) -> None:
+        if not user_roots:
+            raise ValueError("need at least one user root")
+        self.ns = ns
+        self.user_roots = user_roots
+        self.spec = spec
+        self.mix = OpMix(spec.op_weights)
+        self.shared_roots = shared_roots if shared_roots is not None else \
+            self._discover_shared_roots()
+
+    def _discover_shared_roots(self) -> List[Path]:
+        usr = self.ns.try_resolve(("usr",))
+        if usr is None:
+            return []
+        return [("usr", name) for name in usr.children]  # type: ignore[union-attr]
+
+    # ------------------------------------------------------------------
+    # Workload protocol
+    # ------------------------------------------------------------------
+    def next_delay(self, client: Client) -> float:
+        return client.rng.expovariate(1.0 / self.spec.think_time_s)
+
+    def next_op(self, client: Client) -> Optional[MdsRequest]:
+        state = self._state(client)
+        rng = client.rng
+        # "readdir followed by many stats" is one of the two dominant
+        # metadata sequences (§2.2): drain a pending stat burst first
+        pending = state.get("pending_stats")
+        if pending:
+            return MdsRequest(op=OpType.STAT, path=pending.pop(),
+                              client_id=client.client_id)
+        if rng.random() < self.spec.move_dir_prob:
+            self._move_cwd(state, rng)
+        cwd = self._valid_cwd(state)
+        if (self.shared_roots
+                and rng.random() < self.spec.shared_tree_prob):
+            return self._shared_tree_op(rng, client.client_id)
+        op = self.mix.sample(rng)
+        return self._build(op, cwd, state, client)
+
+    # ------------------------------------------------------------------
+    # per-client state
+    # ------------------------------------------------------------------
+    def _state(self, client: Client) -> dict:
+        state = client.scratch.get("general")
+        if state is None:
+            home = self.home_for(client)
+            state = {"home": home, "cwd": home, "created": 0}
+            client.scratch["general"] = state
+        return state
+
+    def home_for(self, client: Client) -> Path:
+        return self.user_roots[client.client_id % len(self.user_roots)]
+
+    def _valid_cwd(self, state: dict) -> Path:
+        node = self.ns.try_resolve(state["cwd"])
+        if node is None or not node.is_dir:
+            state["cwd"] = state["home"]  # cwd vanished under us
+        return state["cwd"]
+
+    def _move_cwd(self, state: dict, rng: random.Random) -> None:
+        cwd = self._valid_cwd(state)
+        node = self.ns.try_resolve(cwd)
+        if node is None:
+            return
+        subdirs = [name for name, ino in node.children.items()  # type: ignore[union-attr]
+                   if self.ns.inode(ino).is_dir]
+        roll = rng.random()
+        if roll < 0.5 and subdirs:
+            state["cwd"] = pathmod.join(cwd, rng.choice(subdirs))
+        elif roll < 0.8 and len(cwd) > len(state["home"]):
+            state["cwd"] = pathmod.parent(cwd)
+        else:
+            state["cwd"] = self._random_dir_under(state["home"], rng)
+
+    def _random_dir_under(self, root: Path, rng: random.Random) -> Path:
+        """Random descent: pick a directory somewhere under ``root``."""
+        current = root
+        for _ in range(8):
+            node = self.ns.try_resolve(current)
+            if node is None or not node.is_dir:
+                return root
+            subdirs = [name for name, ino in node.children.items()  # type: ignore[union-attr]
+                       if self.ns.inode(ino).is_dir]
+            if not subdirs or rng.random() < 0.4:
+                return current
+            current = pathmod.join(current, rng.choice(subdirs))
+        return current
+
+    # ------------------------------------------------------------------
+    # operation construction
+    # ------------------------------------------------------------------
+    def _build(self, op: OpType, cwd: Path, state: dict,
+               client: Client) -> Optional[MdsRequest]:
+        rng = client.rng
+        if op is OpType.READDIR:
+            # queue the follow-up stat burst over the listed entries
+            node = self.ns.try_resolve(cwd)
+            if node is not None and node.is_dir and node.children:
+                names = list(node.children)
+                count = min(len(names), rng.randint(3, 10))
+                picked = rng.sample(names, count)
+                state["pending_stats"] = [pathmod.join(cwd, n)
+                                          for n in picked]
+            return MdsRequest(op=op, path=cwd, client_id=client.client_id,
+                              dir_hint=True)
+        if op is OpType.CLOSE:
+            request = self._close_oldest(state, client)
+            if request is not None:
+                return request
+            op = OpType.STAT  # nothing open: degrade to a stat
+        if op in (OpType.CREATE, OpType.MKDIR):
+            state["created"] += 1
+            name = f"c{client.client_id}_{state['created']}"
+            make_dir = rng.random() < self.spec.mkdir_fraction
+            return MdsRequest(
+                op=OpType.MKDIR if make_dir else OpType.CREATE,
+                path=pathmod.join(cwd, name + ("" if make_dir else ".dat")),
+                client_id=client.client_id,
+                size=None if make_dir else rng.randrange(1, 1 << 20))
+        if op is OpType.CHMOD and rng.random() < self.spec.dir_chmod_fraction:
+            mode = rng.choice([0o755, 0o750, 0o700])
+            return MdsRequest(op=op, path=cwd, mode=mode,
+                              client_id=client.client_id, dir_hint=True)
+
+        target = self._pick_file(cwd, rng)
+        if target is None:
+            # empty directory: create something instead
+            return self._build(OpType.CREATE, cwd, state, client)
+        if op is OpType.RENAME:
+            state["created"] += 1
+            dst = pathmod.join(cwd, f"r{client.client_id}_{state['created']}")
+            return MdsRequest(op=op, path=target, dst_path=dst,
+                              client_id=client.client_id)
+        if op is OpType.LINK:
+            state["created"] += 1
+            dst = pathmod.join(cwd, f"l{client.client_id}_{state['created']}")
+            return MdsRequest(op=op, path=target, dst_path=dst,
+                              client_id=client.client_id)
+        if op is OpType.CHMOD:
+            mode = rng.choice([0o644, 0o640, 0o600])
+            return MdsRequest(op=op, path=target, mode=mode,
+                              client_id=client.client_id)
+        if op is OpType.SETATTR:
+            return MdsRequest(op=op, path=target,
+                              size=rng.randrange(1, 1 << 20),
+                              client_id=client.client_id)
+        if op is OpType.OPEN:
+            # bounded fd table: close the oldest handle when full
+            stack = state.setdefault("open_stack", [])
+            if len(stack) >= self.spec.max_open_files:
+                return self._close_oldest(state, client)
+            stack.append(target)
+        return MdsRequest(op=op, path=target, client_id=client.client_id)
+
+    def _close_oldest(self, state: dict,
+                      client: Client) -> Optional[MdsRequest]:
+        """A CLOSE for the client's oldest tracked open handle."""
+        stack = state.get("open_stack")
+        if not stack:
+            return None
+        path = stack.pop(0)
+        ino = (client.last_opened_ino
+               if path == client.last_opened else None)
+        return MdsRequest(op=OpType.CLOSE, path=path, ino=ino,
+                          client_id=client.client_id)
+
+    def _pick_file(self, cwd: Path, rng: random.Random) -> Optional[Path]:
+        node = self.ns.try_resolve(cwd)
+        if node is None or not node.is_dir or not node.children:
+            return None
+        files = [name for name, ino in node.children.items()  # type: ignore[union-attr]
+                 if self.ns.inode(ino).is_file]
+        if not files:
+            return None
+        return pathmod.join(cwd, rng.choice(files))
+
+    def _shared_tree_op(self, rng: random.Random,
+                        client_id: int) -> Optional[MdsRequest]:
+        root = rng.choice(self.shared_roots)
+        target = self._pick_file(root, rng)
+        if target is None:
+            return None
+        op = OpType.OPEN if rng.random() < 0.7 else OpType.STAT
+        return MdsRequest(op=op, path=target, client_id=client_id)

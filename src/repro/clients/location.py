@@ -1,0 +1,61 @@
+"""Client-side knowledge of the metadata distribution (§4.4).
+
+Clients start ignorant: they know only that the root is replicated
+everywhere.  Every reply carries distribution info for the requested path
+and its prefixes, which the client caches.  Requests are then directed
+based on the *deepest known prefix* of the target path — the mechanism the
+paper uses to steer traffic away from hot spots while keeping the common
+case direct.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from ..mds.messages import ANY_NODE
+from ..namespace.path import Path
+
+
+class LocationCache:
+    """Maps path prefixes to an MDS id or :data:`ANY_NODE`."""
+
+    def __init__(self) -> None:
+        self._known: Dict[Path, int] = {(): ANY_NODE}
+
+    def __len__(self) -> int:
+        return len(self._known)
+
+    def learn(self, path: Path, location: int) -> None:
+        """Record distribution info from a reply."""
+        self._known[path] = location
+
+    def learn_all(self, locations: Dict[Path, int]) -> None:
+        self._known.update(locations)
+
+    def forget(self, path: Path) -> None:
+        """Drop knowledge of one prefix (e.g. after repeated misdirects)."""
+        if path:  # never forget the root
+            self._known.pop(path, None)
+
+    def deepest_known(self, path: Path) -> Tuple[Path, int]:
+        """Deepest cached prefix of ``path`` and its location."""
+        for i in range(len(path), -1, -1):
+            prefix = path[:i]
+            loc = self._known.get(prefix)
+            if loc is not None:
+                return prefix, loc
+        return (), ANY_NODE  # root is always known
+
+    def choose_destination(self, path: Path, rng: random.Random,
+                           n_mds: int) -> int:
+        """Pick the MDS to contact for ``path``.
+
+        ``ANY_NODE`` knowledge (replicated metadata) resolves to a uniformly
+        random node — exactly the load-spreading §4.4 wants for popular
+        items.
+        """
+        _prefix, loc = self.deepest_known(path)
+        if loc == ANY_NODE:
+            return rng.randrange(n_mds)
+        return loc

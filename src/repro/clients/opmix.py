@@ -1,0 +1,74 @@
+"""Metadata operation mixes.
+
+The general-purpose frequencies approximate the workload characterization
+the paper's generator is built on (Roselli et al. [19]): metadata traffic is
+dominated by opens/stats, with directory reads common and namespace
+mutations (rename, chmod, link) rare.  The exact trace percentages are not
+published per-op in the paper, so the mix is exposed as data — experiments
+can (and the ablations do) supply their own.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..mds.messages import OpType
+
+#: General-purpose mix (see module docstring).
+GENERAL_MIX: Dict[OpType, float] = {
+    OpType.OPEN: 0.30,
+    OpType.CLOSE: 0.20,
+    OpType.STAT: 0.24,
+    OpType.READDIR: 0.08,
+    OpType.CREATE: 0.07,
+    OpType.UNLINK: 0.04,
+    OpType.SETATTR: 0.04,
+    OpType.RENAME: 0.01,
+    OpType.CHMOD: 0.01,
+    OpType.LINK: 0.01,
+}
+
+#: Read-heavy mix for predominately static scaling runs (Fig. 2): mutation
+#: ops are present but cannot reshape the namespace much over a short run.
+SCALING_MIX: Dict[OpType, float] = {
+    OpType.OPEN: 0.34,
+    OpType.CLOSE: 0.22,
+    OpType.STAT: 0.28,
+    OpType.READDIR: 0.10,
+    OpType.CREATE: 0.03,
+    OpType.SETATTR: 0.02,
+    OpType.RENAME: 0.005,
+    OpType.CHMOD: 0.005,
+}
+
+
+@dataclass
+class OpMix:
+    """A sampleable categorical distribution over op types."""
+
+    weights: Dict[OpType, float] = field(
+        default_factory=lambda: dict(GENERAL_MIX))
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ValueError("op mix cannot be empty")
+        total = sum(self.weights.values())
+        if total <= 0:
+            raise ValueError("op mix weights must sum to a positive value")
+        self._ops: List[OpType] = list(self.weights)
+        self._cum: List[float] = []
+        acc = 0.0
+        for op in self._ops:
+            acc += self.weights[op] / total
+            self._cum.append(acc)
+        self._cum[-1] = 1.0  # guard against float drift
+
+    def sample(self, rng: random.Random) -> OpType:
+        """Draw one op type."""
+        u = rng.random()
+        for op, edge in zip(self._ops, self._cum):
+            if u <= edge:
+                return op
+        return self._ops[-1]  # pragma: no cover - numeric safety net

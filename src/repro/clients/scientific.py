@@ -1,0 +1,96 @@
+"""Scientific-computing workload (§5.2).
+
+Modelled on the LLNL trace analysis [26]: long compute phases punctuated by
+bursts in which *every* node either opens the same input file or creates
+its own checkpoint file in one shared directory.  The extreme concurrent
+locality is what stresses a single authoritative MDS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..mds import MdsRequest, OpType
+from ..namespace import Namespace
+from ..namespace import path as pathmod
+from ..namespace.path import Path
+from .client import Client
+
+
+@dataclass
+class ScientificSpec:
+    """Phase timing and intensity of the scientific workload."""
+
+    phase_len_s: float = 1.0        # duration of each phase
+    burst_think_s: float = 0.002    # think time inside a burst
+    compute_think_s: float = 0.25   # think time during compute phases
+    checkpoint_stride: int = 4      # create a new checkpoint every N bursts
+
+
+class ScientificWorkload:
+    """Alternating read-burst / compute / create-burst / compute phases."""
+
+    #: phase cycle: 0 = shared-file open burst, 1 = compute,
+    #: 2 = per-client checkpoint creates, 3 = compute
+    N_PHASES = 4
+
+    def __init__(self, ns: Namespace, shared_dir: Path,
+                 spec: ScientificSpec = ScientificSpec()) -> None:
+        self.ns = ns
+        self.spec = spec
+        self.shared_dir = shared_dir
+        dir_node = ns.try_resolve(shared_dir)
+        if dir_node is None or not dir_node.is_dir:
+            raise ValueError(
+                f"shared dir {pathmod.format_path(shared_dir)} missing")
+        self.input_file = self._ensure_input_file()
+
+    def _ensure_input_file(self) -> Path:
+        target = pathmod.join(self.shared_dir, "input.dat")
+        if self.ns.try_resolve(target) is None:
+            self.ns.create_file(target, size=1 << 30)
+        return target
+
+    def phase_at(self, now: float) -> int:
+        return int(now / self.spec.phase_len_s) % self.N_PHASES
+
+    # ------------------------------------------------------------------
+    # Workload protocol
+    # ------------------------------------------------------------------
+    def next_delay(self, client: Client) -> float:
+        phase = self.phase_at(client.env.now)
+        think = (self.spec.burst_think_s if phase in (0, 2)
+                 else self.spec.compute_think_s)
+        return client.rng.expovariate(1.0 / think)
+
+    def next_op(self, client: Client) -> Optional[MdsRequest]:
+        now = client.env.now
+        phase = self.phase_at(now)
+        if phase == 0:
+            # everyone opens (or re-stats) the same input file
+            op = OpType.OPEN if client.rng.random() < 0.8 else OpType.STAT
+            return MdsRequest(op=op, path=self.input_file,
+                              client_id=client.client_id)
+        if phase == 2:
+            # everyone writes its own checkpoint into the shared directory
+            burst_index = int(now / self.spec.phase_len_s) // self.N_PHASES
+            state = client.scratch.setdefault("sci", {"last_burst": -1})
+            if state["last_burst"] != burst_index:
+                state["last_burst"] = burst_index
+                name = f"ckpt.{burst_index}.{client.client_id}"
+                return MdsRequest(op=OpType.CREATE,
+                                  path=pathmod.join(self.shared_dir, name),
+                                  client_id=client.client_id,
+                                  size=1 << 26)
+            # subsequent ops in the same burst grow the checkpoint
+            name = f"ckpt.{burst_index}.{client.client_id}"
+            return MdsRequest(op=OpType.SETATTR,
+                              path=pathmod.join(self.shared_dir, name),
+                              client_id=client.client_id,
+                              size=client.rng.randrange(1, 1 << 28))
+        # compute phase: an occasional stat of the input keeps caches warm
+        if client.rng.random() < 0.2:
+            return MdsRequest(op=OpType.STAT, path=self.input_file,
+                              client_id=client.client_id)
+        return None

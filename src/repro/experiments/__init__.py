@@ -1,0 +1,35 @@
+"""Experiment harness (S13 in DESIGN.md): configs, builders, figure drivers."""
+
+from .builder import Simulation, build_simulation
+from .config import ExperimentConfig, env_scale
+from .extensions import extA_scientific, scientific_config
+from .figures import (FIGURES, FigureResult, fig2, fig3, fig4, fig5, fig6,
+                      fig7, flash_config, run_shift_experiment,
+                      scaling_config, shift_config)
+from .runner import (SteadyStateResult, TimelineResult, run_steady_state,
+                     run_timeline)
+
+__all__ = [
+    "ExperimentConfig",
+    "FIGURES",
+    "FigureResult",
+    "Simulation",
+    "SteadyStateResult",
+    "TimelineResult",
+    "build_simulation",
+    "env_scale",
+    "extA_scientific",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "flash_config",
+    "run_shift_experiment",
+    "scientific_config",
+    "run_steady_state",
+    "run_timeline",
+    "scaling_config",
+    "shift_config",
+]

@@ -1,0 +1,84 @@
+"""Command-line driver: regenerate any figure from the paper.
+
+Usage::
+
+    python -m repro.experiments fig2 [--scale 1.0] [--seeds 2]
+    python -m repro.experiments all  [--scale 0.5]
+
+Prints the figure's series as an aligned text table (the same rows the
+paper plots).  Larger ``--scale`` values use bigger namespaces, client
+populations and durations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .config import env_scale
+from .extensions import extA_scientific
+from .figures import FIGURES, fig5, fig6, run_shift_experiment
+
+#: extension experiments (not in the paper) selectable from the CLI
+EXTENSIONS = {"extA": extA_scientific}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce figures from 'Dynamic Metadata Management "
+                    "for Petabyte-Scale File Systems' (SC 2004)")
+    parser.add_argument("figure",
+                        choices=sorted(FIGURES) + sorted(EXTENSIONS)
+                        + ["all"],
+                        help="which figure to regenerate ('all' runs the "
+                             "paper's figures; ext* are extension "
+                             "experiments)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="experiment scale factor (default: REPRO_SCALE "
+                             "env var or 0.5)")
+    parser.add_argument("--seeds", type=int, default=None,
+                        help="seeds to average for fig2/fig3/fig4")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress lines")
+    parser.add_argument("--plot", action="store_true",
+                        help="also render each figure as a terminal chart")
+    parser.add_argument("--csv", metavar="DIR",
+                        help="also write each figure's rows to DIR/figN.csv")
+    args = parser.parse_args(argv)
+
+    scale = args.scale if args.scale is not None else env_scale(0.5)
+    progress = (lambda msg: None) if args.quiet else (
+        lambda msg: print(f"  .. {msg}", file=sys.stderr))
+
+    names = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    shift = None
+    for name in names:
+        start = time.time()
+        if name in EXTENSIONS:
+            result = EXTENSIONS[name](scale=scale, progress=progress)
+        elif name in ("fig5", "fig6") and args.figure == "all":
+            # the two figures share one experiment; run it once
+            if shift is None:
+                shift = run_shift_experiment(scale, progress)
+            result = (fig5 if name == "fig5" else fig6)(
+                scale, shift_results=shift)
+        else:
+            kwargs = {"scale": scale, "progress": progress}
+            if args.seeds is not None and name in ("fig2", "fig3", "fig4"):
+                kwargs["seeds"] = args.seeds
+            result = FIGURES[name](**kwargs)
+        print(result.format())
+        if args.plot:
+            print()
+            print(result.plot())
+        if args.csv:
+            path = result.save_csv(args.csv)
+            print(f"[rows written to {path}]")
+        print(f"[{name} completed in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

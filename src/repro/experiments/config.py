@@ -1,0 +1,95 @@
+"""Experiment configuration.
+
+One :class:`ExperimentConfig` describes a complete simulation: cluster size
+and strategy, namespace scale, client population, workload, and durations.
+The paper's scaling methodology (§5.3) — fix per-MDS memory, scale file
+system size and client base with the cluster — is captured by the
+``*_per_mds`` knobs, so a sweep over ``n_mds`` automatically scales the
+whole system.
+
+``scale`` multiplies the expensive dimensions (namespace, clients,
+duration) so the same experiment code serves quick CI benches and full
+paper-scale runs (set ``REPRO_SCALE`` or pass ``--scale``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..mds import SimParams
+from ..mds.messages import OpType
+
+
+def env_scale(default: float = 1.0) -> float:
+    """Experiment scale factor from the REPRO_SCALE environment variable."""
+    raw = os.environ.get("REPRO_SCALE")
+    if raw is None:
+        return default
+    value = float(raw)
+    if value <= 0:
+        raise ValueError(f"REPRO_SCALE must be positive, got {raw!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything needed to build and run one simulation."""
+
+    strategy: str = "DynamicSubtree"
+    n_mds: int = 4
+    seed: int = 42
+
+    # namespace scale (×n_mds, ×scale)
+    users_per_mds: int = 4
+    files_per_user: int = 120
+    shared_tree_files: int = 200
+
+    # client population (×n_mds, ×scale)
+    clients_per_mds: int = 24
+    think_time_s: float = 0.006  # keeps the cluster near saturation (§5.3)
+
+    # per-MDS cache sizing: exactly one mechanism applies.
+    #   cache_fraction — slots = fraction × total metadata (Fig. 4 axis);
+    #   cache_capacity_per_mds — fixed absolute slots (Fig. 2 scaling:
+    #     "fixing MDS memory and scaling the entire system").
+    cache_fraction: Optional[float] = None
+    cache_capacity_per_mds: Optional[int] = 400
+
+    # run timing (×scale for duration)
+    warmup_s: float = 2.0
+    duration_s: float = 4.0
+
+    # workload
+    workload: str = "general"  # general | scaling | shifting | scientific | flash
+    workload_args: Dict[str, float] = field(default_factory=dict)
+    op_weights: Optional[Dict[OpType, float]] = None
+
+    params: SimParams = field(default_factory=SimParams)
+    scale: float = 1.0
+
+    # -- derived ------------------------------------------------------------
+    @property
+    def n_users(self) -> int:
+        return max(1, round(self.users_per_mds * self.n_mds * self.scale))
+
+    @property
+    def n_files_per_user(self) -> int:
+        return max(5, round(self.files_per_user * min(1.0, self.scale * 2)))
+
+    @property
+    def n_clients(self) -> int:
+        return max(1, round(self.clients_per_mds * self.n_mds * self.scale))
+
+    @property
+    def run_until_s(self) -> float:
+        return self.warmup_s + self.duration_s * max(0.25, self.scale)
+
+    @property
+    def measure_window(self) -> "tuple[float, float]":
+        return (self.warmup_s, self.run_until_s)
+
+    def replace(self, **kw) -> "ExperimentConfig":
+        return dataclasses.replace(self, **kw)

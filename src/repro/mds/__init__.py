@@ -1,0 +1,41 @@
+"""Metadata server cluster (S5/S7/S8/S9 in DESIGN.md)."""
+
+from .cluster import MdsCluster
+from .config import DEFAULT_PARAMS, SimParams
+from .dirfrag import DirFragManager
+from .failover import fail_node, recover_node, warm_from_journal
+from .loadbalance import LoadBalancer
+from .messages import (ANY_NODE, MUTATING_OPS, READ_ONLY_OPS, MdsReply,
+                       MdsRequest, OpType)
+from .migration import migrate_subtree
+from .node import MdsNode
+from .policy import (BalancePolicy, PriorityPathsPolicy, WeightedNodesPolicy)
+from .popularity import DecayCounter, PopularityMap
+from .stats import NodeStats, aggregate_forward_fraction, aggregate_hit_rate
+
+__all__ = [
+    "ANY_NODE",
+    "BalancePolicy",
+    "DEFAULT_PARAMS",
+    "PriorityPathsPolicy",
+    "WeightedNodesPolicy",
+    "DecayCounter",
+    "DirFragManager",
+    "LoadBalancer",
+    "MUTATING_OPS",
+    "MdsCluster",
+    "MdsNode",
+    "MdsReply",
+    "MdsRequest",
+    "NodeStats",
+    "OpType",
+    "PopularityMap",
+    "READ_ONLY_OPS",
+    "SimParams",
+    "aggregate_forward_fraction",
+    "aggregate_hit_rate",
+    "fail_node",
+    "migrate_subtree",
+    "recover_node",
+    "warm_from_journal",
+]

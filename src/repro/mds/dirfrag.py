@@ -1,0 +1,56 @@
+"""Dynamic directory fragmentation (§4.3).
+
+When an individual directory grows extraordinarily large, holding it on a
+single MDS becomes a bottleneck; the dynamic partition can hash *that one
+directory's* entries across the cluster, and consolidate it again when it
+shrinks.  The manager scans periodically — directory growth is much slower
+than the request rate, so a coarse scan matches the mechanism's spirit
+without per-op bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from ..partition import DynamicSubtreePartition
+from ..sim import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cluster import MdsCluster
+
+
+class DirFragManager:
+    """Fragment huge directories; consolidate them when they shrink."""
+
+    def __init__(self, cluster: "MdsCluster") -> None:
+        if not isinstance(cluster.strategy, DynamicSubtreePartition):
+            raise TypeError("DirFragManager requires DynamicSubtreePartition")
+        self.cluster = cluster
+        self.params = cluster.params
+        self.fragmented_count = 0
+        self.consolidated_count = 0
+
+    def run(self, interval_s: float = 1.0) -> Generator[Event, Any, None]:
+        while True:
+            yield self.cluster.env.timeout(interval_s)
+            self.scan_once()
+
+    def scan_once(self) -> None:
+        """One pass: apply the size thresholds to every directory."""
+        strategy: DynamicSubtreePartition = self.cluster.strategy  # type: ignore[assignment]
+        ns = self.cluster.ns
+
+        # consolidate shrunken fragmented directories first (cheap set)
+        for dir_ino in list(strategy.fragmented):
+            if (dir_ino not in ns
+                    or ns.inode(dir_ino).entry_count
+                    < self.params.dirfrag_unfrag_size):
+                strategy.unfragment_directory(dir_ino)
+                self.consolidated_count += 1
+
+        for node in ns.iter_subtree(1):
+            if not node.is_dir or node.ino in strategy.fragmented:
+                continue
+            if node.entry_count >= self.params.dirfrag_size_threshold:
+                strategy.fragment_directory(node.ino)
+                self.fragmented_count += 1

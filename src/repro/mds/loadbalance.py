@@ -1,0 +1,192 @@
+"""Heartbeat-driven load balancing for the dynamic subtree partition (§4.3).
+
+Every ``balance_interval_s`` the nodes exchange load levels — modelled as a
+single weighted metric combining per-interval throughput and cache misses,
+exactly the "primitive" metric the paper's prototype uses (§5.1) — and the
+busiest node sheds popular subtrees to the least busy one.  Preference order
+follows §4.3: re-delegate entire imported trees first, then split off child
+subtrees of locally-rooted delegations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Set, Tuple
+
+from ..namespace import ROOT_INO
+from ..partition import DynamicSubtreePartition
+from ..sim import Event
+from .migration import migrate_subtree
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cluster import MdsCluster
+
+
+class LoadBalancer:
+    """Periodic rebalancing of the subtree delegation table.
+
+    ``policy`` shapes the distribution (§4.3): node capacities normalize
+    the load metric for heterogeneous clusters, and subtree weights bias
+    shedding toward prioritized portions of the hierarchy.
+    """
+
+    def __init__(self, cluster: "MdsCluster", policy=None) -> None:
+        if not isinstance(cluster.strategy, DynamicSubtreePartition):
+            raise TypeError("LoadBalancer requires DynamicSubtreePartition")
+        from .policy import BalancePolicy
+
+        self.cluster = cluster
+        self.params = cluster.params
+        self.policy = policy if policy is not None else BalancePolicy()
+        #: node -> subtree roots delegated *to* it by balancing (imported)
+        self.imported: Dict[int, Set[int]] = {}
+        #: subtree -> last time it was moved (damps ping-pong)
+        self._last_moved: Dict[int, float] = {}
+        self.rounds = 0
+        self.migrations = 0
+
+    # -- the heartbeat process ------------------------------------------------
+    def run(self) -> Generator[Event, Any, None]:
+        while True:
+            yield self.cluster.env.timeout(self.params.balance_interval_s)
+            yield from self.rebalance_round()
+
+    def rebalance_round(self) -> Generator[Event, Any, None]:
+        """One heartbeat: measure, decide, migrate."""
+        self.rounds += 1
+        loads = self.measure_loads()
+        n = len(loads)
+        mean = sum(loads) / n
+        if mean <= 0:
+            return
+        busy = max(range(n), key=lambda i: loads[i])
+        if loads[busy] <= mean * (1.0 + self.params.balance_threshold):
+            return
+        # shed to the least-loaded *live* nodes, one subtree each, so a hot
+        # spot spreads over the cluster instead of relocating wholesale
+        recipients = sorted((i for i in range(n)
+                             if i != busy and loads[i] < mean
+                             and not self.cluster.nodes[i].failed),
+                            key=lambda i: loads[i])
+        if not recipients:
+            return
+        excess_fraction = (loads[busy] - mean) / loads[busy]
+        picks = self.select_subtrees(busy, excess_fraction)
+        for k, subtree_ino in enumerate(picks):
+            idle = recipients[k % len(recipients)]
+            try:
+                yield from migrate_subtree(self.cluster, subtree_ino, busy,
+                                           idle)
+            except (TypeError, ValueError):
+                continue
+            self.imported.setdefault(idle, set()).add(subtree_ino)
+            self.imported.get(busy, set()).discard(subtree_ino)
+            self._last_moved[subtree_ino] = self.cluster.env.now
+            self.migrations += 1
+
+    # -- measurement ------------------------------------------------------------
+    def measure_loads(self) -> List[float]:
+        """Per-node load over the last interval.
+
+        Weighted combination of throughput and cache misses (§5.1), plus
+        the current request backlog: a node drowning in queued requests
+        completes *fewer* ops, so completions alone would make the most
+        overloaded node look idle.
+        """
+        interval = self.params.balance_interval_s
+        loads = []
+        for node in self.cluster.nodes:
+            delta = node.stats.deltas.snapshot()
+            served = delta.get("served", 0.0) / interval
+            misses = delta.get("misses", 0.0) / interval
+            backlog = len(node.inbox)
+            raw = (served
+                   + self.params.balance_miss_weight * misses
+                   + self.params.balance_queue_weight * backlog)
+            # heterogeneous clusters balance *utilization* (§4.3)
+            loads.append(raw / self.policy.node_capacity(node.node_id))
+        return loads
+
+    # -- subtree selection ---------------------------------------------------------
+    def select_subtrees(self, busy: int, excess_fraction: float) -> List[int]:
+        """Greedily pick subtrees whose popularity covers the excess load."""
+        strategy: DynamicSubtreePartition = self.cluster.strategy  # type: ignore[assignment]
+        ns = self.cluster.ns
+        node = self.cluster.nodes[busy]
+        now = self.cluster.env.now
+
+        owned = [ino for ino in strategy.subtrees_of(busy) if ino != ROOT_INO]
+
+        def effective_pop(ino: int) -> float:
+            """Policy-weighted popularity of ``ino``'s own coverage.
+
+            Ancestor counters include traffic to nested delegations, which
+            would double-count a hot child against its covering root (and
+            make the balancer move the hollow root), so nested delegated
+            subtrees are subtracted out.  The policy's subtree weight then
+            biases shedding toward prioritized hierarchy portions (§4.3).
+            """
+            value = node.popularity.read(ino, now)
+            for other in strategy.delegations:
+                if other != ino and other in ns \
+                        and ns.is_ancestor_ino(ino, other):
+                    value -= node.popularity.read(other, now)
+            return max(0.0, value) * self.policy.subtree_weight(ns, ino)
+
+        total_popularity = sum(effective_pop(ino) for ino in owned)
+        if total_popularity <= 0:
+            return []
+        needed = excess_fraction * total_popularity
+
+        imported_here = self.imported.get(busy, set())
+        cooldown = 2.5 * self.params.balance_interval_s
+        candidates: List[Tuple[float, int, int]] = []  # (pop, tier, ino)
+        for ino in owned:
+            if ino not in ns:
+                continue
+            if now - self._last_moved.get(ino, -1e18) < cooldown:
+                continue  # recently moved: let the new placement settle
+            pop = effective_pop(ino)
+            if pop <= 0:
+                continue
+            tier = 0 if ino in imported_here else 1
+            candidates.append((pop, tier, ino))
+            # splitting: child directories of an owned root are candidates too
+            for child_ino in ns.inode(ino).children.values():  # type: ignore[union-attr]
+                child = ns.inode(child_ino)
+                if not child.is_dir:
+                    continue
+                if strategy.authority_of_ino(child_ino) != busy:
+                    continue
+                child_pop = effective_pop(child_ino)
+                if child_pop > 0:
+                    candidates.append((child_pop, 2, child_ino))
+
+        # prefer whole imported trees, then whole local trees, then splits;
+        # within a tier, most popular first.  A candidate bigger than the
+        # remaining excess would merely relocate the hot spot (we watched
+        # the dominant subtree ping-pong between nodes without this guard),
+        # so oversize trees are skipped and their children — present as
+        # split candidates — are taken instead.
+        candidates.sort(key=lambda c: (c[1], -c[0]))
+        picks: List[int] = []
+        moved = 0.0
+        chosen: Set[int] = set()
+        for pop, _tier, ino in candidates:
+            if len(picks) >= self.params.max_migrations_per_round:
+                break
+            if moved >= needed:
+                break
+            if pop > 1.2 * (needed - moved) and len(candidates) > 1:
+                continue  # too coarse: fall through to finer candidates
+            if any(other == ino or ns.is_ancestor_ino(other, ino)
+                   or ns.is_ancestor_ino(ino, other) for other in chosen):
+                continue  # avoid nested double-moves in one round
+            picks.append(ino)
+            chosen.add(ino)
+            moved += pop
+        if not picks and candidates:
+            # a monolithic hot spot: every candidate exceeded the cap, so
+            # shed the finest-grained (deepest), hottest piece we have
+            candidates.sort(key=lambda c: (-c[1], -c[0]))
+            picks = [candidates[0][2]]
+        return picks

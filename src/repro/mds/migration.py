@@ -1,0 +1,109 @@
+"""Subtree authority transfer (§4.3).
+
+A migration moves authority for a directory subtree from one MDS to
+another with a double-commit exchange during which all active cached state
+for the subtree is transferred — explicitly *not* re-read from disk, which
+"would be orders of magnitude slower".  The receiving node must cache the
+subtree root's prefix (ancestor) inodes, which is the small per-delegation
+overhead the paper notes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from ..namespace import ROOT_INO
+from ..partition import DynamicSubtreePartition
+from ..sim import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cluster import MdsCluster
+
+
+def migrate_subtree(cluster: "MdsCluster", subtree_ino: int, src_id: int,
+                    dst_id: int) -> Generator[Event, Any, int]:
+    """Transfer authority for ``subtree_ino`` from ``src_id`` to ``dst_id``.
+
+    Returns the number of cached entries transferred.  A sub-process: costs
+    the double-commit handshake plus per-entry transfer time on the source
+    node's CPU.
+    """
+    strategy = cluster.strategy
+    if not isinstance(strategy, DynamicSubtreePartition):
+        raise TypeError("migration requires a dynamic subtree partition")
+    if subtree_ino == ROOT_INO:
+        raise ValueError("cannot migrate the root")
+    if src_id == dst_id:
+        raise ValueError("source and destination are the same node")
+    src = cluster.nodes[src_id]
+    dst = cluster.nodes[dst_id]
+    ns = cluster.ns
+    params = cluster.params
+
+    # Only state this delegation transfer actually covers moves: entries
+    # nested under a *different* delegation, or cached here as replicas,
+    # stay behind.  An entry is covered iff its nearest delegation root is
+    # the same as the migrating subtree's (the subtree itself when it is
+    # already delegated, its covering root when this is a fresh split).
+    covering_root = strategy.delegation_root_of(subtree_ino)
+    entries = [
+        entry for entry in src.cache.collect_subtree(subtree_ino)
+        if not entry.replica
+        and entry.ino in cluster.ns
+        and strategy.authority_of_ino(entry.ino) == src_id
+        and strategy.delegation_root_of(entry.ino) == covering_root
+    ]
+    transfer_cost = (params.migration_fixed_s
+                     + params.migration_per_entry_s * len(entries))
+    # The exporter drives the exchange; its CPU is busy for the duration.
+    yield from src.cpu.use(transfer_cost)
+    yield cluster.env.timeout(2 * params.net_hop_s)  # double commit
+
+    # Destination anchors the new delegation with prefix inodes (§4.3).
+    if subtree_ino in ns:
+        for ancestor in ns.ancestors(subtree_ino):
+            if ancestor.ino not in dst.cache:
+                is_auth = strategy.authority_of_ino(ancestor.ino) == dst_id
+                dst._insert(ancestor, replica=not is_auth)
+
+    # Move cached state: insert top-down at the destination, then release
+    # bottom-up at the source.
+    now = cluster.env.now
+    moved = 0
+    for entry in reversed(entries):  # root-first
+        if entry.ino not in ns:
+            continue
+        dst._insert(ns.inode(entry.ino), replica=False)
+        moved += 1
+        popularity = src.popularity.read(entry.ino, now)
+        if popularity > 0:
+            dst.popularity.add(entry.ino, now, popularity)
+        holders = src.replicas.drop_ino(entry.ino)
+        for holder in holders:
+            if holder != dst_id:
+                dst.replicas.register(entry.ino, holder)
+        # open handles follow the authority (their pin moves with them)
+        refs = src._open_refs.pop(entry.ino, 0)
+        if refs:
+            dst._open_refs[entry.ino] = dst._open_refs.get(entry.ino, 0) + refs
+            if entry.ino in dst.cache and entry.ino not in dst._open_pinned:
+                dst.cache.pin(entry.ino)
+                dst._open_pinned.add(entry.ino)
+            if entry.ino in src._open_pinned:
+                src._open_pinned.discard(entry.ino)
+                if entry.ino in src.cache:
+                    src.cache.unpin(entry.ino)
+    for entry in entries:  # deepest-first
+        # re-read the live entry: the ino may have been evicted and
+        # re-inserted (with new pins) while the transfer was in flight
+        live = src.cache.get(entry.ino, touch=False)
+        if live is not None and not live.pinned:
+            src.cache.remove(live.ino)
+
+    # The commit point: authority flips.
+    strategy.delegate(subtree_ino, dst_id)
+
+    src.stats.migrations_out += 1
+    dst.stats.migrations_in += 1
+    src.stats.entries_migrated += moved
+    return moved

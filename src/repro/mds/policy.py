@@ -1,0 +1,107 @@
+"""Workload distribution policies for the load balancer (§4.3).
+
+The paper's point about dynamic partitioning's flexibility: "a dynamic
+distribution algorithm can be predicated on any hierarchical performance
+metric, and need not be based on vanilla balancing.  Policies can be
+formulated that prioritize active portions of the file system at the
+expense of archival data" — none of which a hashed distribution can
+express, because hashing ignores file-system structure.
+
+A :class:`BalancePolicy` shapes two decisions:
+
+* ``node_capacity`` — normalizes measured load, so heterogeneous nodes
+  (see ``SimParams.node_speed_factors``) are balanced by *utilization*
+  rather than raw ops/s;
+* ``subtree_weight`` — scales a candidate subtree's popularity during
+  selection, so prioritized portions of the hierarchy are shed from busy
+  nodes first (they end up with more headroom) while archival portions
+  tolerate crowding.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, TYPE_CHECKING
+
+from ..namespace import Namespace
+from ..namespace.path import Path
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cluster import MdsCluster
+
+
+class BalancePolicy:
+    """Vanilla balancing: equal nodes, equal metadata."""
+
+    def node_capacity(self, node_id: int) -> float:
+        return 1.0
+
+    def subtree_weight(self, ns: Namespace, ino: int) -> float:
+        return 1.0
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class WeightedNodesPolicy(BalancePolicy):
+    """Heterogeneous cluster: balance utilization, not raw throughput."""
+
+    def __init__(self, capacities: Sequence[float]) -> None:
+        if not capacities or any(c <= 0 for c in capacities):
+            raise ValueError("capacities must be positive")
+        self.capacities = tuple(capacities)
+
+    def node_capacity(self, node_id: int) -> float:
+        if node_id >= len(self.capacities):
+            raise IndexError(f"no capacity for node {node_id}")
+        return self.capacities[node_id]
+
+    @classmethod
+    def from_params(cls, params, n_mds: int) -> "WeightedNodesPolicy":
+        """Capacities matching ``SimParams.node_speed_factors``."""
+        factors = params.node_speed_factors or (1.0,) * n_mds
+        return cls(factors[:n_mds])
+
+
+class PriorityPathsPolicy(BalancePolicy):
+    """Prioritize active portions of the hierarchy over archival ones.
+
+    Subtrees at or under a prioritized path weigh ``boost``× their
+    popularity in shed decisions — the balancer moves them off busy nodes
+    first, giving their clients the most headroom, while de-prioritized
+    (``demote``×) archival subtrees are the last to be relieved.
+    """
+
+    def __init__(self, ns: Namespace, prioritized: Iterable[Path],
+                 boost: float = 4.0, demoted: Iterable[Path] = (),
+                 demote: float = 0.25) -> None:
+        if boost <= 0 or demote <= 0:
+            raise ValueError("weights must be positive")
+        self.boost = boost
+        self.demote = demote
+        self._prioritized = self._resolve(ns, prioritized)
+        self._demoted = self._resolve(ns, demoted)
+
+    @staticmethod
+    def _resolve(ns: Namespace, paths: Iterable[Path]) -> "set[int]":
+        inos = set()
+        for path in paths:
+            node = ns.try_resolve(path)
+            if node is None or not node.is_dir:
+                raise ValueError(f"priority path {path!r} is not a directory")
+            inos.add(node.ino)
+        return inos
+
+    def subtree_weight(self, ns: Namespace, ino: int) -> float:
+        if self._covered(ns, ino, self._prioritized):
+            return self.boost
+        if self._covered(ns, ino, self._demoted):
+            return self.demote
+        return 1.0
+
+    @staticmethod
+    def _covered(ns: Namespace, ino: int, anchors: "set[int]") -> bool:
+        if not anchors or ino not in ns:
+            return False
+        if ino in anchors:
+            return True
+        return any(ns.is_ancestor_ino(anchor, ino) for anchor in anchors)

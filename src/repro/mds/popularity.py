@@ -1,0 +1,72 @@
+"""Exponentially decaying access counters (§4.4).
+
+The paper's traffic control monitors metadata popularity with "a simple
+access counter whose value decays over time".  :class:`DecayCounter`
+implements that with lazy decay: the stored value is only brought up to
+date when touched, so maintaining counters for every directory an MDS
+serves is O(1) per access.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class DecayCounter:
+    """A counter whose value halves every ``halflife_s`` seconds."""
+
+    halflife_s: float
+    value: float = 0.0
+    last_t: float = 0.0
+
+    def _decay_to(self, now: float) -> None:
+        if now > self.last_t and self.value > 0.0:
+            self.value *= math.exp(-math.log(2.0) *
+                                   (now - self.last_t) / self.halflife_s)
+        self.last_t = max(self.last_t, now)
+
+    def add(self, now: float, amount: float = 1.0) -> float:
+        """Record ``amount`` accesses at time ``now``; returns the new value."""
+        self._decay_to(now)
+        self.value += amount
+        return self.value
+
+    def read(self, now: float) -> float:
+        """Current (decayed) value without recording an access."""
+        self._decay_to(now)
+        return self.value
+
+
+class PopularityMap:
+    """Per-inode decay counters with shared half-life."""
+
+    def __init__(self, halflife_s: float) -> None:
+        if halflife_s <= 0:
+            raise ValueError("halflife must be positive")
+        self.halflife_s = halflife_s
+        self._counters: Dict[int, DecayCounter] = {}
+
+    def add(self, ino: int, now: float, amount: float = 1.0) -> float:
+        counter = self._counters.get(ino)
+        if counter is None:
+            counter = DecayCounter(self.halflife_s, last_t=now)
+            self._counters[ino] = counter
+        return counter.add(now, amount)
+
+    def read(self, ino: int, now: float) -> float:
+        counter = self._counters.get(ino)
+        return counter.read(now) if counter is not None else 0.0
+
+    def prune(self, now: float, floor: float = 0.01) -> int:
+        """Drop counters that decayed below ``floor``; returns count removed."""
+        dead = [ino for ino, c in self._counters.items()
+                if c.read(now) < floor]
+        for ino in dead:
+            del self._counters[ino]
+        return len(dead)
+
+    def __len__(self) -> int:
+        return len(self._counters)

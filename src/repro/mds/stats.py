@@ -1,0 +1,85 @@
+"""Per-node and cluster-level statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..metrics import BucketCounter, DeltaTracker
+
+
+@dataclass
+class NodeStats:
+    """Activity counters for one MDS node."""
+
+    bucket_width_s: float = 0.5
+
+    ops_served: int = 0          # requests this node replied to
+    forwards: int = 0            # requests this node passed along
+    errors: int = 0              # ops that failed with an FS error
+    cache_hits: int = 0          # inode lookups satisfied from cache
+    cache_misses: int = 0        # inode lookups requiring a fetch
+    remote_fetches: int = 0      # prefix/replica fetches from peer nodes
+    replications_pushed: int = 0  # traffic-control replica broadcasts
+    invalidations_sent: int = 0  # coherence callbacks on update
+    lazy_updates: int = 0        # Lazy Hybrid deferred updates applied
+    prefetches: int = 0          # sibling inodes brought in by dir fetches
+    journal_appends: int = 0
+    tier2_writes: int = 0
+    migrations_out: int = 0      # subtrees shed by the balancer
+    migrations_in: int = 0
+    entries_migrated: int = 0
+
+    served_by_time: BucketCounter = field(init=False)
+    forwards_by_time: BucketCounter = field(init=False)
+    deltas: DeltaTracker = field(default_factory=DeltaTracker)
+
+    def __post_init__(self) -> None:
+        self.served_by_time = BucketCounter(self.bucket_width_s)
+        self.forwards_by_time = BucketCounter(self.bucket_width_s)
+
+    # -- recording helpers --------------------------------------------------
+    def record_served(self, now: float) -> None:
+        self.ops_served += 1
+        self.served_by_time.add(now)
+        self.deltas.add("served")
+
+    def record_forward(self, now: float) -> None:
+        self.forwards += 1
+        self.forwards_by_time.add(now)
+        self.deltas.add("forwards")
+
+    def record_hit(self) -> None:
+        self.cache_hits += 1
+
+    def record_miss(self) -> None:
+        self.cache_misses += 1
+        self.deltas.add("misses")
+
+    # -- derived -------------------------------------------------------------
+    @property
+    def lookups(self) -> int:
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.lookups if self.lookups else 0.0
+
+    def throughput(self, t_start: float, t_end: float) -> float:
+        """Ops/sec replied in the window."""
+        if t_end <= t_start:
+            return 0.0
+        return self.served_by_time.count_in(t_start, t_end) / (t_end - t_start)
+
+
+def aggregate_hit_rate(stats: "list[NodeStats]") -> float:
+    hits = sum(s.cache_hits for s in stats)
+    lookups = sum(s.lookups for s in stats)
+    return hits / lookups if lookups else 0.0
+
+
+def aggregate_forward_fraction(stats: "list[NodeStats]") -> float:
+    served = sum(s.ops_served for s in stats)
+    forwards = sum(s.forwards for s in stats)
+    total = served + forwards
+    return forwards / total if total else 0.0

@@ -1,0 +1,21 @@
+"""Metrics collection, analysis, and reporting (S12 in DESIGN.md)."""
+
+from .analysis import (Summary, moving_average, percentile, relative_change,
+                       summarize, trim_warmup)
+from .counters import DeltaTracker
+from .report import format_series, format_table
+from .series import BucketCounter, TimeSeries
+
+__all__ = [
+    "BucketCounter",
+    "DeltaTracker",
+    "Summary",
+    "TimeSeries",
+    "format_series",
+    "format_table",
+    "moving_average",
+    "percentile",
+    "relative_change",
+    "summarize",
+    "trim_warmup",
+]

@@ -1,0 +1,125 @@
+"""Terminal line charts for the figure drivers.
+
+The paper's results are line plots; ``python -m repro.experiments fig2
+--plot`` renders the same series as a Unicode chart so the shape — who is
+on top, what degrades, where the crossover sits — is visible without
+leaving the terminal.  Pure text, no dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+Series = Sequence[Tuple[float, float]]
+
+#: assigned to series in order; visible in any terminal
+MARKERS = "ox*+#@%&"
+
+
+def render_chart(series: Dict[str, Series], *, width: int = 64,
+                 height: int = 16, title: str = "", x_label: str = "",
+                 y_label: str = "") -> str:
+    """Render named (x, y) series as a text chart with a legend.
+
+    Series share axes; each gets the next marker character.  Points are
+    nearest-cell rasterized; later series overwrite earlier ones where
+    they collide (collisions are rare at default resolution and the
+    legend disambiguates).
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 16 or height < 4:
+        raise ValueError("chart too small to be legible")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("all series are empty")
+    xs = [x for x, _y in points]
+    ys = [y for _x, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if math.isclose(x_hi, x_lo):
+        x_hi = x_lo + 1.0
+    if math.isclose(y_hi, y_lo):
+        y_hi = y_lo + 1.0
+    # a little headroom so the top curve isn't glued to the frame; never
+    # invent a negative floor for all-non-negative data
+    y_pad = 0.05 * (y_hi - y_lo)
+    y_lo = max(0.0, y_lo - y_pad) if y_lo >= 0 else y_lo - y_pad
+    y_hi += y_pad
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> Tuple[int, int]:
+        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y_hi - y) / (y_hi - y_lo) * (height - 1))
+        return row, col
+
+    for marker, (name, pts) in zip(_marker_cycle(), series.items()):
+        previous = None
+        for x, y in pts:
+            row, col = cell(x, y)
+            if previous is not None:
+                _draw_segment(grid, previous, (row, col), marker)
+            grid[row][col] = marker
+            previous = (row, col)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(len(_fmt(y_hi)), len(_fmt(y_lo)))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = _fmt(y_hi)
+        elif i == height - 1:
+            label = _fmt(y_lo)
+        elif i == height // 2:
+            label = _fmt((y_hi + y_lo) / 2)
+        else:
+            label = ""
+        lines.append(f"{label.rjust(label_width)} |{''.join(row)}")
+    x_axis = " " * label_width + " +" + "-" * width
+    lines.append(x_axis)
+    left = _fmt(x_lo)
+    right = _fmt(x_hi)
+    gap = width - len(left) - len(right)
+    lines.append(" " * (label_width + 2) + left + " " * max(1, gap) + right)
+    if x_label:
+        lines.append(" " * (label_width + 2)
+                     + x_label.center(width))
+    legend = "   ".join(f"{marker} {name}" for marker, name
+                        in zip(_marker_cycle(), series))
+    lines.append("")
+    lines.append(legend if not y_label else f"{legend}   (y: {y_label})")
+    return "\n".join(lines)
+
+
+def _marker_cycle():
+    while True:
+        yield from MARKERS
+
+
+def _draw_segment(grid, start, end, marker) -> None:
+    """Light linear interpolation between consecutive points."""
+    (r0, c0), (r1, c1) = start, end
+    steps = max(abs(r1 - r0), abs(c1 - c0))
+    if steps <= 1:
+        return
+    for step in range(1, steps):
+        frac = step / steps
+        row = round(r0 + (r1 - r0) * frac)
+        col = round(c0 + (c1 - c0) * frac)
+        if grid[row][col] == " ":
+            grid[row][col] = "."
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:.0f}"
+    if abs(value) >= 10:
+        return f"{value:.0f}"
+    if abs(value) >= 1:
+        return f"{value:.1f}"
+    return f"{value:.2f}"

@@ -1,0 +1,35 @@
+"""Delta-snapshot counters for periodic load measurement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class DeltaTracker:
+    """Named monotonic counters with "what changed since last snapshot".
+
+    The load balancer's heartbeat wants per-interval rates; this gives them
+    without per-event timestamping.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, float] = {}
+        self._last_snapshot: Dict[str, float] = {}
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        self._counts[name] = self._counts.get(name, 0.0) + amount
+
+    def value(self, name: str) -> float:
+        return self._counts.get(name, 0.0)
+
+    def delta(self, name: str) -> float:
+        """Change in ``name`` since the last :meth:`snapshot` (peek only)."""
+        return self._counts.get(name, 0.0) - self._last_snapshot.get(name, 0.0)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Return all deltas since the previous snapshot and reset baselines."""
+        deltas = {name: self._counts[name] - self._last_snapshot.get(name, 0.0)
+                  for name in self._counts}
+        self._last_snapshot = dict(self._counts)
+        return deltas

@@ -1,0 +1,48 @@
+"""Plain-text reporting helpers for the benchmark harness.
+
+The paper's evaluation is all figures; the harness prints the same series
+as aligned text tables so results are diffable and CI-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render rows as an aligned monospace table."""
+    str_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:.0f}"
+        if abs(cell) >= 100:
+            return f"{cell:.1f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_series(name: str, points: Sequence[tuple],
+                  x_label: str = "t", y_label: str = "value") -> str:
+    """Render one (x, y) series as a two-column table."""
+    return format_table([x_label, y_label], points, title=name)

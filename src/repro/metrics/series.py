@@ -1,0 +1,76 @@
+"""Time-series collection for simulation metrics."""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+class BucketCounter:
+    """Counts events into fixed-width time buckets.
+
+    Used to turn discrete completions into rate series (ops/sec per bucket)
+    for the paper's time-axis figures (5, 6, 7).
+    """
+
+    def __init__(self, width_s: float) -> None:
+        if width_s <= 0:
+            raise ValueError("bucket width must be positive")
+        self.width_s = width_s
+        self._buckets: Dict[int, float] = {}
+        self.total = 0.0
+
+    def add(self, t: float, amount: float = 1.0) -> None:
+        index = int(t // self.width_s)
+        self._buckets[index] = self._buckets.get(index, 0.0) + amount
+        self.total += amount
+
+    def count_in(self, t_start: float, t_end: float) -> float:
+        """Total events with bucket midpoints inside [t_start, t_end)."""
+        total = 0.0
+        for index, count in self._buckets.items():
+            mid = (index + 0.5) * self.width_s
+            if t_start <= mid < t_end:
+                total += count
+        return total
+
+    def rate_series(self) -> List[Tuple[float, float]]:
+        """(bucket midpoint, events per second) sorted by time."""
+        return [((i + 0.5) * self.width_s, c / self.width_s)
+                for i, c in sorted(self._buckets.items())]
+
+    def rate_at(self, t: float) -> float:
+        index = int(t // self.width_s)
+        return self._buckets.get(index, 0.0) / self.width_s
+
+
+@dataclass
+class TimeSeries:
+    """Explicitly sampled (t, value) pairs."""
+
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def record(self, t: float, value: float) -> None:
+        if self.points and t < self.points[-1][0]:
+            raise ValueError("samples must be recorded in time order")
+        self.points.append((t, value))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def values(self) -> List[float]:
+        return [v for _t, v in self.points]
+
+    def times(self) -> List[float]:
+        return [t for t, _v in self.points]
+
+    def value_at(self, t: float) -> float:
+        """Most recent sample at or before ``t`` (0.0 before first sample)."""
+        times = self.times()
+        idx = bisect.bisect_right(times, t) - 1
+        return self.points[idx][1] if idx >= 0 else 0.0
+
+    def mean(self) -> float:
+        vals = self.values()
+        return sum(vals) / len(vals) if vals else 0.0

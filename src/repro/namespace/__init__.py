@@ -1,0 +1,44 @@
+"""File-system namespace substrate (S2/S10 in DESIGN.md).
+
+The ground-truth hierarchy the MDS cluster serves: embedded inodes,
+POSIX-shaped mutations, hard-link anchor table, a permission model rich
+enough to exercise path-traversal vs. dual-entry-ACL checking, and a
+deterministic synthetic snapshot generator.
+"""
+
+from . import path
+from .anchor import AnchorEntry, AnchorTable
+from .errors import (AlreadyExists, FileNotFound, FsError, InvalidOperation,
+                     IsADirectory, NotADirectory, NotEmpty)
+from .generator import (SnapshotSpec, SnapshotStats, build_tree,
+                        generate_snapshot)
+from .inode import Inode, InodeType
+from .permissions import (Access, DualEntryACL, access_for, can_traverse,
+                          merge_path_acl)
+from .tree import Namespace, ROOT_INO
+
+__all__ = [
+    "Access",
+    "AlreadyExists",
+    "AnchorEntry",
+    "AnchorTable",
+    "DualEntryACL",
+    "FileNotFound",
+    "FsError",
+    "Inode",
+    "InodeType",
+    "InvalidOperation",
+    "IsADirectory",
+    "Namespace",
+    "NotADirectory",
+    "NotEmpty",
+    "ROOT_INO",
+    "SnapshotSpec",
+    "SnapshotStats",
+    "access_for",
+    "build_tree",
+    "can_traverse",
+    "generate_snapshot",
+    "merge_path_acl",
+    "path",
+]

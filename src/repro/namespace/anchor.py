@@ -1,0 +1,121 @@
+"""Anchor table for multiply-linked inodes (§4.5).
+
+With embedded inodes there is no global inode table, so a file reachable
+through several hard links needs an auxiliary structure: a table mapping
+the inode number of every *multiply-linked* inode to its embedding parent
+directory, plus reference-counted entries for the ancestor directories of
+those inodes so the embedding location can be found by walking the table
+recursively.  The reference counts let the table hold only the directories
+it actually needs (the paper contrasts this with C-FFS, which must include
+all directories).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+
+@dataclass
+class AnchorEntry:
+    """One row: ``ino`` is embedded/contained in directory ``parent_ino``."""
+
+    ino: int
+    parent_ino: int
+    refcount: int = 1
+
+
+@dataclass
+class AnchorTable:
+    """Global lookup table for multiply-linked inodes and their ancestors."""
+
+    _entries: Dict[int, AnchorEntry] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, ino: int) -> bool:
+        return ino in self._entries
+
+    def entry(self, ino: int) -> AnchorEntry:
+        return self._entries[ino]
+
+    # -- maintenance --------------------------------------------------------
+    def add_refs(self, ancestry: Iterable[tuple[int, int]],
+                 count: int = 1) -> None:
+        """Add ``count`` references along an ancestor chain.
+
+        ``ancestry`` lists ``(node_ino, its_parent_ino)`` pairs walking
+        upward; entries are created on first reference.
+        """
+        for node_ino, parent_ino in ancestry:
+            entry = self._entries.get(node_ino)
+            if entry is None:
+                self._entries[node_ino] = AnchorEntry(node_ino, parent_ino,
+                                                      refcount=count)
+            else:
+                entry.refcount += count
+                if entry.parent_ino != parent_ino:
+                    raise ValueError(
+                        f"conflicting parent for ino {node_ino}: table has "
+                        f"{entry.parent_ino}, caller says {parent_ino}")
+
+    def remove_refs(self, ancestry: Iterable[tuple[int, int]],
+                    count: int = 1) -> None:
+        """Drop ``count`` references along a chain (reverse of add_refs)."""
+        for node_ino, _parent_ino in ancestry:
+            entry = self._entries.get(node_ino)
+            if entry is None:
+                raise KeyError(f"ino {node_ino} not in anchor table")
+            entry.refcount -= count
+            if entry.refcount < 0:
+                raise ValueError(f"refcount underflow for ino {node_ino}")
+            if entry.refcount == 0:
+                del self._entries[node_ino]
+
+    def add_anchor(self, ino: int, ancestry: Iterable[tuple[int, int]]) -> None:
+        """Register a newly multiply-linked ``ino`` via its embedding chain.
+
+        The anchored inode's own ``(ino, parent)`` pair must come first in
+        ``ancestry``.
+        """
+        self.add_refs(ancestry, 1)
+
+    def remove_anchor(self, ino: int, ancestry: Iterable[tuple[int, int]]) -> None:
+        """Drop one reference along ``ino``'s ancestor chain (reverse of add)."""
+        self.remove_refs(ancestry, 1)
+
+    def move(self, ino: int, new_parent_ino: int) -> None:
+        """Record that a tracked inode's embedding directory changed.
+
+        Called when a tracked directory (or anchored file) is renamed into a
+        different directory.  Only the one entry changes; descendants keep
+        their rows — that locality is the point of the design.
+        """
+        entry = self._entries.get(ino)
+        if entry is None:
+            raise KeyError(f"ino {ino} not in anchor table")
+        entry.parent_ino = new_parent_ino
+
+    # -- lookup --------------------------------------------------------------
+    def locate(self, ino: int, max_hops: int = 1024) -> List[int]:
+        """Return the chain of parent directories from ``ino`` to the root.
+
+        The returned list starts with ``ino``'s embedding parent and walks
+        upward for as long as ancestors are present in the table (ancestors
+        stop being tracked once the chain reaches directories that the table
+        does not need).
+        """
+        chain: List[int] = []
+        current = ino
+        for _ in range(max_hops):
+            entry = self._entries.get(current)
+            if entry is None:
+                break
+            chain.append(entry.parent_ino)
+            current = entry.parent_ino
+        else:
+            raise RuntimeError(f"anchor chain for ino {ino} exceeds {max_hops} hops")
+        if not chain:
+            raise KeyError(f"ino {ino} not in anchor table")
+        return chain

@@ -1,0 +1,32 @@
+"""Namespace error types, mirroring the POSIX failures clients can observe."""
+
+from __future__ import annotations
+
+
+class FsError(Exception):
+    """Base class for namespace failures."""
+
+
+class FileNotFound(FsError):
+    """No entry at the requested path."""
+
+
+class NotADirectory(FsError):
+    """A non-final path component resolved to a file."""
+
+
+class IsADirectory(FsError):
+    """A file operation was attempted on a directory."""
+
+
+class NotEmpty(FsError):
+    """Attempt to remove a directory that still has entries."""
+
+
+class AlreadyExists(FsError):
+    """Attempt to create an entry over an existing name."""
+
+
+class InvalidOperation(FsError):
+    """Structurally invalid request (hard-linking a directory, renaming a
+    directory into its own subtree, unlinking the root, ...)."""

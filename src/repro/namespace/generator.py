@@ -1,0 +1,197 @@
+"""Synthetic file-system snapshot generation.
+
+The paper runs generated client workloads against snapshots of real file
+systems (§5.2); its scaling experiments describe the namespace as "a large
+collection of home directories".  We generate an equivalent synthetic
+snapshot: ``/home/u<NNN>`` per user, each a private subtree with nested
+project/mail/src-style directories, plus a shared ``/usr`` software tree that
+every client occasionally touches.  Directory sizes are log-normal (heavy
+tail — most directories small, a few huge), matching published namespace
+studies; depth decays geometrically.
+
+All randomness comes from named :class:`~repro.sim.rng.RngStreams` children,
+so a spec + seed pair always yields byte-identical namespaces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Union
+
+from ..sim.rng import RngStreams
+from . import path as pathmod
+from .inode import Inode
+from .tree import Namespace
+
+
+@dataclass(frozen=True)
+class SnapshotSpec:
+    """Parameters of a synthetic namespace.
+
+    ``files_per_user`` is a *mean*; actual per-user counts vary log-normally
+    with ``user_size_sigma``.  ``dir_chain`` controls expected subdirectories
+    per directory at the top of a user tree; it decays by ``branch_decay``
+    per level so trees stay bounded by ``max_depth``.
+    """
+
+    n_users: int = 20
+    files_per_user: int = 200
+    user_size_sigma: float = 0.6
+    subdirs_per_dir: float = 3.0
+    branch_decay: float = 0.55
+    max_depth: int = 6
+    files_per_dir_sigma: float = 1.0
+    mean_file_size: int = 16 * 1024
+    file_size_sigma: float = 1.8
+    shared_tree_files: int = 400
+    shared_tree_dirs: int = 40
+
+
+@dataclass
+class SnapshotStats:
+    """What was actually generated."""
+
+    n_files: int = 0
+    n_dirs: int = 0
+    max_depth_seen: int = 0
+    user_roots: "list[pathmod.Path]" = field(default_factory=list)
+
+    @property
+    def n_inodes(self) -> int:
+        return self.n_files + self.n_dirs
+
+
+_DIR_WORDS = ("src", "doc", "data", "mail", "proj", "tmp", "pub", "lib",
+              "test", "old", "img", "notes")
+_FILE_EXTS = (".txt", ".c", ".h", ".dat", ".log", ".tex", ".out", ".gz")
+
+
+def generate_snapshot(ns: Namespace, spec: SnapshotSpec,
+                      streams: RngStreams) -> SnapshotStats:
+    """Populate ``ns`` with a home-directory-collection snapshot.
+
+    Returns generation statistics; the namespace must be empty (fresh).
+    """
+    if len(ns) != 1:
+        raise ValueError("generate_snapshot requires a fresh namespace")
+    stats = SnapshotStats()
+    home = pathmod.parse("/home")
+    ns.mkdir(home)
+    stats.n_dirs += 1
+
+    sizes_rng = streams.np_stream("snapshot.user_sizes")
+    # Log-normal per-user file budgets with the requested mean.
+    mu = math.log(spec.files_per_user) - spec.user_size_sigma ** 2 / 2
+    budgets = sizes_rng.lognormal(mu, spec.user_size_sigma, spec.n_users)
+
+    for u in range(spec.n_users):
+        user_rng = streams.py_stream(f"snapshot.user.{u}")
+        root = pathmod.join(home, f"u{u:04d}")
+        ns.mkdir(root, owner=u)
+        stats.n_dirs += 1
+        stats.user_roots.append(root)
+        budget = max(1, int(round(budgets[u])))
+        _grow_tree(ns, root, owner=u, budget=budget, depth=1, spec=spec,
+                   rng=user_rng, stats=stats)
+
+    _grow_shared_tree(ns, spec, streams, stats)
+    return stats
+
+
+def _grow_tree(ns: Namespace, at: pathmod.Path, owner: int, budget: int,
+               depth: int, spec: SnapshotSpec, rng, stats: SnapshotStats) -> int:
+    """Recursively fill ``at`` with files and subdirectories.
+
+    Returns the number of files created (≤ budget).
+    """
+    stats.max_depth_seen = max(stats.max_depth_seen, len(at))
+    created = 0
+
+    # How many subdirectories at this level?
+    mean_dirs = spec.subdirs_per_dir * (spec.branch_decay ** (depth - 1))
+    n_dirs = 0
+    if depth < spec.max_depth and budget > 4:
+        n_dirs = min(_poissonish(rng, mean_dirs), budget // 3, len(_DIR_WORDS))
+
+    # Split the budget: subdirectories get a share, the rest become local files.
+    sub_share = 0.65 if n_dirs else 0.0
+    sub_budget_total = int(budget * sub_share)
+    local_files = budget - sub_budget_total
+
+    for i in range(local_files):
+        name = f"f{i:04d}{rng.choice(_FILE_EXTS)}"
+        size = int(rng.lognormvariate(
+            math.log(spec.mean_file_size) - spec.file_size_sigma ** 2 / 2,
+            spec.file_size_sigma))
+        ns.create_file(pathmod.join(at, name), owner=owner, size=size)
+        stats.n_files += 1
+        created += 1
+
+    if n_dirs:
+        names = rng.sample(_DIR_WORDS, n_dirs)
+        # Uneven split so some subtrees are much bigger than others.
+        weights = [rng.random() + 0.1 for _ in range(n_dirs)]
+        total_w = sum(weights)
+        for name, w in zip(names, weights):
+            sub_budget = max(1, int(sub_budget_total * w / total_w))
+            sub = pathmod.join(at, name)
+            ns.mkdir(sub, owner=owner)
+            stats.n_dirs += 1
+            created += _grow_tree(ns, sub, owner, sub_budget, depth + 1,
+                                  spec, rng, stats)
+    return created
+
+
+def _grow_shared_tree(ns: Namespace, spec: SnapshotSpec,
+                      streams: RngStreams, stats: SnapshotStats) -> None:
+    """Build ``/usr``: a wide shared software tree all clients may read."""
+    if spec.shared_tree_files <= 0:
+        return
+    rng = streams.py_stream("snapshot.shared")
+    usr = pathmod.parse("/usr")
+    ns.mkdir(usr)
+    stats.n_dirs += 1
+    n_dirs = max(1, spec.shared_tree_dirs)
+    per_dir = max(1, spec.shared_tree_files // n_dirs)
+    for d in range(n_dirs):
+        sub = pathmod.join(usr, f"pkg{d:03d}")
+        ns.mkdir(sub)
+        stats.n_dirs += 1
+        for f in range(per_dir):
+            name = f"bin{f:03d}"
+            size = int(rng.lognormvariate(math.log(64 * 1024), 1.0))
+            ns.create_file(pathmod.join(sub, name), size=size)
+            stats.n_files += 1
+
+
+def _poissonish(rng, mean: float) -> int:
+    """Small-mean Poisson sample via inversion (stdlib ``random`` has none)."""
+    if mean <= 0:
+        return 0
+    threshold = math.exp(-mean)
+    k, p = 0, 1.0
+    while True:
+        p *= rng.random()
+        if p <= threshold:
+            return k
+        k += 1
+
+
+TreeSpec = Dict[str, Union["TreeSpec", int]]
+
+
+def build_tree(ns: Namespace, spec: TreeSpec,
+               at: pathmod.Path = pathmod.ROOT, owner: int = 0) -> None:
+    """Build an explicit namespace from nested dicts (test helper).
+
+    ``{"home": {"alice": {"notes.txt": 120}}}`` creates directories for dict
+    values and files (with the given size) for int values.
+    """
+    for name, value in spec.items():
+        child = pathmod.join(at, name)
+        if isinstance(value, dict):
+            ns.mkdir(child, owner=owner)
+            build_tree(ns, value, child, owner)
+        else:
+            ns.create_file(child, owner=owner, size=int(value))

@@ -1,0 +1,61 @@
+"""Inode records.
+
+Inodes are *embedded*: they live with (one of) their directory entries
+(§4.5), so there is no global inode table.  ``parent_ino`` records the
+directory holding the embedding dentry; multiply-linked files additionally
+appear in the :class:`~repro.namespace.anchor.AnchorTable`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .permissions import DEFAULT_DIR_MODE, DEFAULT_FILE_MODE
+
+
+class InodeType(enum.Enum):
+    FILE = "file"
+    DIR = "dir"
+
+
+@dataclass
+class Inode:
+    """One metadata record (file or directory).
+
+    ``children`` is populated only for directories and maps entry name →
+    child ino; for files it stays ``None`` so that a namespace with millions
+    of files does not pay a dict per file.
+    """
+
+    ino: int
+    itype: InodeType
+    parent_ino: int
+    mode: int = 0
+    owner: int = 0
+    size: int = 0
+    mtime: float = 0.0
+    nlink: int = 1
+    children: "dict[str, int] | None" = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.mode == 0:
+            self.mode = (DEFAULT_DIR_MODE if self.itype is InodeType.DIR
+                         else DEFAULT_FILE_MODE)
+        if self.itype is InodeType.DIR and self.children is None:
+            self.children = {}
+        if self.itype is InodeType.FILE and self.children is not None:
+            raise ValueError("file inodes cannot have children")
+
+    @property
+    def is_dir(self) -> bool:
+        return self.itype is InodeType.DIR
+
+    @property
+    def is_file(self) -> bool:
+        return self.itype is InodeType.FILE
+
+    @property
+    def entry_count(self) -> int:
+        """Number of directory entries (0 for files)."""
+        return len(self.children) if self.children is not None else 0

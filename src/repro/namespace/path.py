@@ -1,0 +1,77 @@
+"""Path utilities.
+
+Paths are represented internally as tuples of name components, rooted at the
+file-system root: ``()`` is ``/``, ``("usr", "local")`` is ``/usr/local``.
+Tuples are hashable (usable as dict keys for client location caches and
+hash-based partitions), cheap to slice for prefix walks, and unambiguous.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+Path = Tuple[str, ...]
+
+ROOT: Path = ()
+
+
+def parse(text: str) -> Path:
+    """Parse ``"/usr/local"`` into ``("usr", "local")``.
+
+    Accepts redundant slashes; rejects empty or relative inputs and ``.``/
+    ``..`` components (the simulator namespace is always absolute and
+    normalized).
+    """
+    if not text.startswith("/"):
+        raise ValueError(f"paths must be absolute, got {text!r}")
+    parts = tuple(p for p in text.split("/") if p)
+    for part in parts:
+        if part in (".", ".."):
+            raise ValueError(f"path component {part!r} not allowed in {text!r}")
+    return parts
+
+
+def format_path(path: Path) -> str:
+    """Render a component tuple as a conventional slash string."""
+    return "/" + "/".join(path)
+
+
+def parent(path: Path) -> Path:
+    """The containing directory's path. The root is its own parent."""
+    return path[:-1] if path else ROOT
+
+
+def basename(path: Path) -> str:
+    """Final component; empty string for the root."""
+    return path[-1] if path else ""
+
+
+def is_ancestor(candidate: Path, path: Path) -> bool:
+    """True if ``candidate`` is a proper ancestor of ``path``."""
+    return len(candidate) < len(path) and path[: len(candidate)] == candidate
+
+
+def is_prefix(candidate: Path, path: Path) -> bool:
+    """True if ``candidate`` is ``path`` or one of its ancestors."""
+    return path[: len(candidate)] == candidate
+
+
+def prefixes(path: Path) -> Iterator[Path]:
+    """Yield every proper ancestor of ``path``, root first.
+
+    ``prefixes(("a", "b", "c"))`` yields ``()``, ``("a",)``, ``("a", "b")``.
+    """
+    for i in range(len(path)):
+        yield path[:i]
+
+
+def join(path: Path, name: str) -> Path:
+    """Append one component."""
+    if not name or "/" in name:
+        raise ValueError(f"invalid path component {name!r}")
+    return path + (name,)
+
+
+def depth(path: Path) -> int:
+    """Number of components below the root."""
+    return len(path)

@@ -1,0 +1,94 @@
+"""Minimal POSIX-flavoured permission model.
+
+The paper's strategies differ in *where* the permission check happens (path
+traversal for subtree/hash strategies, a merged dual-entry ACL for Lazy
+Hybrid, §3.1.3) rather than in the richness of the permission model itself,
+so we model two principals — the owner and everyone else — with read/write/
+execute bits each, which is enough to make "effective access along a path"
+a real computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Bit layout mirrors the low 6 bits of a Unix mode word.
+OWNER_R = 0o400
+OWNER_W = 0o200
+OWNER_X = 0o100
+OTHER_R = 0o004
+OTHER_W = 0o002
+OTHER_X = 0o001
+
+DEFAULT_DIR_MODE = 0o755
+DEFAULT_FILE_MODE = 0o644
+
+
+@dataclass(frozen=True)
+class Access:
+    """Effective rights for one principal."""
+
+    read: bool
+    write: bool
+    execute: bool
+
+    def __and__(self, other: "Access") -> "Access":
+        return Access(self.read and other.read,
+                      self.write and other.write,
+                      self.execute and other.execute)
+
+
+def access_for(mode: int, uid: int, owner: int) -> Access:
+    """Rights ``uid`` gets from ``mode`` on an object owned by ``owner``."""
+    if uid == owner:
+        return Access(bool(mode & OWNER_R), bool(mode & OWNER_W),
+                      bool(mode & OWNER_X))
+    return Access(bool(mode & OTHER_R), bool(mode & OTHER_W),
+                  bool(mode & OTHER_X))
+
+
+def can_traverse(mode: int, uid: int, owner: int) -> bool:
+    """Whether ``uid`` may descend *through* a directory (execute bit)."""
+    return access_for(mode, uid, owner).execute
+
+
+@dataclass(frozen=True)
+class DualEntryACL:
+    """Lazy Hybrid's per-file merged access-control entry (§3.1.3).
+
+    Stores, for the owner principal and for everyone else, the effective
+    rights after AND-ing traversal permission over every ancestor directory
+    with the file's own bits.  Having this on the file record lets an MDS
+    grant or deny access without touching any ancestor inode.
+    """
+
+    owner_uid: int
+    owner: Access
+    other: Access
+
+    def access(self, uid: int) -> Access:
+        return self.owner if uid == self.owner_uid else self.other
+
+
+def merge_path_acl(modes_and_owners: "list[tuple[int, int]]",
+                   file_mode: int, file_owner: int) -> DualEntryACL:
+    """Compute the dual-entry ACL for a file.
+
+    ``modes_and_owners`` lists ``(mode, owner_uid)`` of every ancestor
+    directory, root first.  A principal's effective rights are the file's
+    own rights gated by execute permission on every ancestor.
+    """
+    owner_ok = True
+    other_ok = True
+    for mode, owner in modes_and_owners:
+        owner_ok = owner_ok and can_traverse(mode, file_owner, owner)
+        other_ok = other_ok and can_traverse(mode, -1, owner)
+    owner_bits = access_for(file_mode, file_owner, file_owner)
+    other_bits = access_for(file_mode, -1, file_owner)
+    gate = Access(True, True, True)
+    none = Access(False, False, False)
+    return DualEntryACL(
+        owner_uid=file_owner,
+        owner=(owner_bits & gate) if owner_ok else none,
+        other=(other_bits & gate) if other_ok else none,
+    )

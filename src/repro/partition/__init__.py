@@ -1,0 +1,27 @@
+"""Metadata partitioning strategies (S6 in DESIGN.md).
+
+The five strategies the paper evaluates against each other:
+StaticSubtree, DynamicSubtree (the contribution), DirHash, FileHash, and
+LazyHybrid.
+"""
+
+from .base import Strategy, stable_hash
+from .hashing import DirHashPartition, FileHashPartition
+from .lazyhybrid import LazyHybridPartition, LazyUpdateStats
+from .registry import make_strategy, strategy_names
+from .subtree import (DynamicSubtreePartition, StaticSubtreePartition,
+                      SubtreePartition)
+
+__all__ = [
+    "DirHashPartition",
+    "DynamicSubtreePartition",
+    "FileHashPartition",
+    "LazyHybridPartition",
+    "LazyUpdateStats",
+    "StaticSubtreePartition",
+    "Strategy",
+    "SubtreePartition",
+    "make_strategy",
+    "stable_hash",
+    "strategy_names",
+]

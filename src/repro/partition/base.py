@@ -1,0 +1,109 @@
+"""Strategy interface: how metadata is partitioned over the MDS cluster.
+
+A strategy answers one central question — *which MDS is authoritative for
+this inode?* — plus the strategy-specific properties the MDS node needs:
+whether serving a request requires path traversal (Lazy Hybrid does not),
+what one cache miss fetches from disk (directory-grain vs inode-grain
+layout, §4.5), and whether clients can compute the authority themselves
+(hash-based strategies) or must discover it (subtree strategies, §4.4).
+
+Strategies also observe namespace mutations (rename/chmod) because two of
+them — Lazy Hybrid most of all — owe deferred work when those happen.
+"""
+
+from __future__ import annotations
+
+import abc
+import zlib
+from typing import ClassVar, Optional
+
+from ..namespace import Namespace
+from ..namespace import path as pathmod
+from ..namespace.path import Path
+from ..storage import DirectoryGrainLayout, Layout
+
+
+def stable_hash(path: Path, salt: int = 0) -> int:
+    """Deterministic, platform-stable hash of a path (crc32-based).
+
+    ``hash()`` is randomized per process; simulation runs must be exactly
+    reproducible, so we use crc32 over the rendered path.
+    """
+    return zlib.crc32(f"{salt}:{pathmod.format_path(path)}".encode())
+
+
+class Strategy(abc.ABC):
+    """Base class for metadata partitioning strategies."""
+
+    #: registry key, e.g. ``"DynamicSubtree"``
+    name: ClassVar[str] = "abstract"
+    #: does serving a request require checking ancestor directories?
+    needs_path_traversal: ClassVar[bool] = True
+    #: can the strategy's partition be adjusted at runtime?
+    supports_rebalancing: ClassVar[bool] = False
+
+    def __init__(self, n_mds: int) -> None:
+        if n_mds < 1:
+            raise ValueError("need at least one MDS")
+        self.n_mds = n_mds
+        self.ns: Optional[Namespace] = None
+        self.layout: Layout = DirectoryGrainLayout()
+
+    def bind(self, ns: Namespace) -> None:
+        """Attach the namespace and build the initial partition."""
+        self.ns = ns
+        self._setup()
+
+    def _setup(self) -> None:
+        """Hook: build initial partition state.  Default: nothing."""
+
+    # -- the core query -----------------------------------------------------
+    @abc.abstractmethod
+    def authority_of_ino(self, ino: int) -> int:
+        """MDS id authoritative for the given inode."""
+
+    def authority_of_path(self, path: Path) -> int:
+        """Authority for the inode currently at ``path``."""
+        assert self.ns is not None
+        return self.authority_of_ino(self.ns.resolve(path).ino)
+
+    def authority_of_new(self, path: Path, parent_ino: int) -> int:
+        """Authority for an entry about to be created at ``path``.
+
+        Default: creations happen where the parent directory lives (subtree
+        and directory-hash semantics).  Full-path-hash strategies override.
+        """
+        return self.authority_of_ino(parent_ino)
+
+    def client_locate(self, path: Path, *,
+                      dir_hint: bool = False) -> Optional[int]:
+        """Authority a *client* can compute on its own, or ``None``.
+
+        Hash strategies return the hash target (clients know the function);
+        subtree strategies return ``None`` — clients must rely on cached
+        distribution info learned from replies (§4.4).  ``dir_hint`` tells
+        directory-hash routing that the client knows ``path`` names a
+        directory.
+        """
+        return None
+
+    # -- mutation observers ---------------------------------------------------
+    def on_rename(self, ino: int, old_path: Path, new_path: Path) -> int:
+        """Notify of a rename; returns the number of *deferred* per-file
+        updates this creates for the strategy (0 for most)."""
+        return 0
+
+    def on_chmod(self, ino: int) -> int:
+        """Notify of a permission change; returns deferred update count."""
+        return 0
+
+    def take_pending(self, ino: int) -> bool:
+        """Consume a deferred update owed for ``ino`` (Lazy Hybrid).
+
+        Returns True when the caller must charge the lazy-update cost (one
+        network round trip plus a metadata write) before serving.
+        """
+        return False
+
+    def describe(self) -> str:
+        return f"{self.name}(n_mds={self.n_mds})"

@@ -1,0 +1,116 @@
+"""Hash-based metadata distribution (§3.1.2).
+
+``FileHashPartition`` hashes the full path of every file and directory —
+the Vesta/RAMA/zFS approach.  Metadata for a directory's entries scatters
+over the whole cluster, so inodes must be fetched one at a time
+(inode-grain layout) and every node ends up replicating prefix directories
+for path traversal.
+
+``DirHashPartition`` hashes only the directory portion of a path, grouping
+a directory's contents (and their embedded inodes) on one MDS and on disk —
+retaining prefetch and directory-grain I/O while still scattering the
+hierarchy.
+
+Renames change hash inputs for everything nested beneath the renamed entry;
+both strategies must migrate that metadata.  We account for it as deferred
+per-inode work, charged on next access (the same bookkeeping Lazy Hybrid
+uses, but *with* path traversal still required).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..namespace import path as pathmod
+from ..namespace.path import Path
+from ..storage import DirectoryGrainLayout, InodeGrainLayout
+from .base import Strategy, stable_hash
+
+
+class FileHashPartition(Strategy):
+    """Authority = hash(full path).  Inode-grain storage, no locality."""
+
+    name = "FileHash"
+    needs_path_traversal = True
+    supports_rebalancing = False
+
+    def __init__(self, n_mds: int) -> None:
+        super().__init__(n_mds)
+        self.layout = InodeGrainLayout()
+        self._pending_moves: Set[int] = set()
+
+    def authority_of_ino(self, ino: int) -> int:
+        assert self.ns is not None
+        return stable_hash(self.ns.path_of(ino)) % self.n_mds
+
+    def client_locate(self, path: Path, *,
+                      dir_hint: bool = False) -> Optional[int]:
+        return stable_hash(path) % self.n_mds
+
+    def authority_of_new(self, path: Path, parent_ino: int) -> int:
+        return stable_hash(path) % self.n_mds
+
+    def on_rename(self, ino: int, old_path: Path, new_path: Path) -> int:
+        """Every inode beneath a renamed entry rehashes -> must migrate."""
+        assert self.ns is not None
+        moved = [n.ino for n in self.ns.iter_subtree(ino)]
+        self._pending_moves.update(moved)
+        return len(moved)
+
+    def take_pending(self, ino: int) -> bool:
+        if ino in self._pending_moves:
+            self._pending_moves.discard(ino)
+            return True
+        return False
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending_moves)
+
+
+class DirHashPartition(FileHashPartition):
+    """Authority = hash(containing directory's path).
+
+    A directory inode is grouped with its *contents*: the directory and its
+    children all hash on the directory's own path, so one MDS serves whole
+    directories and can store/prefetch them as single objects.
+    """
+
+    name = "DirHash"
+    needs_path_traversal = True
+    supports_rebalancing = False
+
+    def __init__(self, n_mds: int) -> None:
+        super().__init__(n_mds)
+        self.layout = DirectoryGrainLayout()
+
+    def authority_of_ino(self, ino: int) -> int:
+        assert self.ns is not None
+        node = self.ns.inode(ino)
+        if node.is_dir:
+            dir_path = self.ns.path_of(ino)
+        else:
+            dir_path = self.ns.path_of(node.parent_ino)
+        return stable_hash(dir_path) % self.n_mds
+
+    def client_locate(self, path: Path, *,
+                      dir_hint: bool = False) -> Optional[int]:
+        # A directory groups with its own contents; a file with its parent's.
+        # Clients usually cannot know which a path names before the lookup
+        # and hash the parent (exact for files, one forward for directories)
+        # — except when they already know the target is a directory (their
+        # own cwd, a readdir target), signalled by ``dir_hint``.
+        if dir_hint:
+            return stable_hash(path) % self.n_mds
+        return stable_hash(pathmod.parent(path)) % self.n_mds
+
+    def on_rename(self, ino: int, old_path: Path, new_path: Path) -> int:
+        """Directories beneath the rename rehash; files move with them.
+
+        Under dir-hashing a file's location depends only on its directory's
+        path, so the deferred work is per *directory object*, files included
+        implicitly with their directory.  We still mark every inode (the
+        migration touches them all) — matching the paper's observation that
+        the update cost is proportional to the nested metadata.
+        """
+        return super().on_rename(ino, old_path, new_path)

@@ -1,0 +1,117 @@
+"""Lazy Hybrid metadata management (§3.1.3, after Brandt et al. [3]).
+
+Full-path hashing like :class:`FileHashPartition`, but *without* path
+traversal: every file record carries a dual-entry ACL holding the effective
+access information for its whole path, so the serving MDS answers from the
+one record.  The price is deferred maintenance:
+
+* ``chmod`` on a directory invalidates the merged ACL of every file nested
+  beneath it — one lazy update per file, applied on next access;
+* ``rename``/``mv`` of a directory changes the path-hash (and thus the
+  authoritative MDS) of everything nested beneath it — one lazy migration
+  per file.
+
+The strategy tracks the owed updates; the MDS charges one extra network
+round trip plus a metadata write when it consumes one (the paper's
+amortized "one network trip per affected file").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from ..namespace import merge_path_acl
+from ..namespace.path import Path
+from ..storage import InodeGrainLayout
+from .base import Strategy, stable_hash
+
+
+@dataclass
+class LazyUpdateStats:
+    """How much deferred work the workload generated and consumed."""
+
+    acl_updates_owed: int = 0
+    migrations_owed: int = 0
+    updates_applied: int = 0
+
+
+class LazyHybridPartition(Strategy):
+    """Path-hash distribution with merged per-file ACLs, no traversal."""
+
+    name = "LazyHybrid"
+    needs_path_traversal = False
+    supports_rebalancing = False
+
+    def __init__(self, n_mds: int) -> None:
+        super().__init__(n_mds)
+        self.layout = InodeGrainLayout()
+        self._pending: Set[int] = set()
+        self.stats = LazyUpdateStats()
+
+    def authority_of_ino(self, ino: int) -> int:
+        assert self.ns is not None
+        return stable_hash(self.ns.path_of(ino)) % self.n_mds
+
+    def client_locate(self, path: Path, *,
+                      dir_hint: bool = False) -> Optional[int]:
+        return stable_hash(path) % self.n_mds
+
+    def authority_of_new(self, path: Path, parent_ino: int) -> int:
+        return stable_hash(path) % self.n_mds
+
+    # -- effective permissions (what the merged record answers) -------------
+    def effective_acl(self, ino: int):
+        """Recompute the dual-entry ACL for ``ino`` from ground truth."""
+        assert self.ns is not None
+        node = self.ns.inode(ino)
+        ancestry = [(a.mode, a.owner) for a in self.ns.ancestors(ino)]
+        return merge_path_acl(ancestry, node.mode, node.owner)
+
+    # -- deferred-work bookkeeping -------------------------------------------
+    def on_chmod(self, ino: int) -> int:
+        """A directory chmod owes one ACL update per nested file."""
+        assert self.ns is not None
+        node = self.ns.inode(ino)
+        if not node.is_dir:
+            return 0  # file chmod updates its own record in place
+        affected = [n.ino for n in self.ns.iter_subtree(ino)
+                    if n.ino != ino]
+        self._pending.update(affected)
+        self.stats.acl_updates_owed += len(affected)
+        return len(affected)
+
+    def on_rename(self, ino: int, old_path: Path, new_path: Path) -> int:
+        """A rename owes one migration per nested inode (hash moved)."""
+        assert self.ns is not None
+        moved = [n.ino for n in self.ns.iter_subtree(ino)]
+        self._pending.update(moved)
+        self.stats.migrations_owed += len(moved)
+        return len(moved)
+
+    def take_pending(self, ino: int) -> bool:
+        if ino in self._pending:
+            self._pending.discard(ino)
+            self.stats.updates_applied += 1
+            return True
+        return False
+
+    def pop_pending_batch(self, limit: int) -> "list[int]":
+        """Remove up to ``limit`` owed updates for background propagation.
+
+        §3.1.3: each MDS can keep "a log of recent updates that have not
+        fully propagated and then lazily update nested items" — draining
+        the log in the background instead of only on access.  Returns the
+        inos whose records were brought up to date.
+        """
+        if limit <= 0:
+            return []
+        batch = []
+        while self._pending and len(batch) < limit:
+            batch.append(self._pending.pop())
+        self.stats.updates_applied += len(batch)
+        return batch
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,34 @@
+"""Strategy registry: build a partition strategy by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import Strategy
+from .hashing import DirHashPartition, FileHashPartition
+from .lazyhybrid import LazyHybridPartition
+from .subtree import DynamicSubtreePartition, StaticSubtreePartition
+
+_REGISTRY: Dict[str, Callable[[int], Strategy]] = {
+    StaticSubtreePartition.name: StaticSubtreePartition,
+    DynamicSubtreePartition.name: DynamicSubtreePartition,
+    DirHashPartition.name: DirHashPartition,
+    FileHashPartition.name: FileHashPartition,
+    LazyHybridPartition.name: LazyHybridPartition,
+}
+
+
+def strategy_names() -> List[str]:
+    """All registered strategy names, in the paper's Figure-2 legend order."""
+    return ["StaticSubtree", "DynamicSubtree", "DirHash", "LazyHybrid",
+            "FileHash"]
+
+
+def make_strategy(name: str, n_mds: int) -> Strategy:
+    """Instantiate a strategy by registry name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; known: {sorted(_REGISTRY)}") from None
+    return factory(n_mds)

@@ -1,0 +1,17 @@
+"""Data placement substrate (§2.1.1): deterministic, client-recalculable
+file -> object -> OSD mapping (RUSH-style weighted rendezvous hashing plus
+striping/replication-group layout)."""
+
+from .rush import Device, StableHashPlacement
+from .striping import (FileMapper, ObjectExtent, StripeLayout,
+                       object_id_for, replication_group_for)
+
+__all__ = [
+    "Device",
+    "FileMapper",
+    "ObjectExtent",
+    "StableHashPlacement",
+    "StripeLayout",
+    "object_id_for",
+    "replication_group_for",
+]

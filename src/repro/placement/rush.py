@@ -1,0 +1,92 @@
+"""Deterministic pseudo-random data placement (§2.1.1, after RUSH [11]).
+
+The architecture's file data path never consults the MDS: given a small
+input value (the inode number plus a replication-group id), any client can
+recompute which OSDs hold every object of a file.  The placement function
+must be deterministic, probabilistically balanced across heterogeneous
+devices, and stable under expansion — adding storage moves only the data
+that lands on the new devices.
+
+We implement weighted rendezvous (highest-random-weight) hashing, which
+has exactly those properties and is a close cousin of the RUSH family the
+paper cites: each (key, device) pair gets an independent uniform draw,
+scaled by device weight via the exponential trick; the device with the
+best score wins.  When new devices join, a key's existing scores are
+unchanged, so it moves only if a new device beats its previous winner —
+the minimal-migration property.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Device:
+    """One OSD with a relative capacity weight."""
+
+    device_id: int
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+
+
+def _uniform(key: int, replica: int, device_id: int) -> float:
+    """A stable uniform(0,1] draw for the (key, replica, device) triple."""
+    digest = hashlib.sha256(
+        f"{key}:{replica}:{device_id}".encode()).digest()
+    raw = int.from_bytes(digest[:8], "little")
+    return (raw + 1) / (2 ** 64 + 1)
+
+
+class StableHashPlacement:
+    """Weighted rendezvous placement over a set of OSDs."""
+
+    def __init__(self, devices: Sequence[Device]) -> None:
+        if not devices:
+            raise ValueError("need at least one device")
+        ids = [d.device_id for d in devices]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate device ids")
+        self.devices: Tuple[Device, ...] = tuple(devices)
+
+    @classmethod
+    def uniform(cls, n_devices: int) -> "StableHashPlacement":
+        """A pool of ``n_devices`` equal-weight OSDs numbered from 0."""
+        return cls([Device(i) for i in range(n_devices)])
+
+    def expanded(self, new_devices: Sequence[Device]) -> "StableHashPlacement":
+        """A new placement with additional devices (stable expansion)."""
+        return StableHashPlacement(tuple(self.devices) + tuple(new_devices))
+
+    # ------------------------------------------------------------------
+    def place(self, key: int, n_replicas: int = 1) -> List[int]:
+        """The ``n_replicas`` distinct device ids holding ``key``.
+
+        Replica ``r`` takes the device with the ``r``-th best score, so the
+        replica list is a stable permutation prefix: losing a device
+        promotes the next-best choice without disturbing the others.
+        """
+        if n_replicas < 1:
+            raise ValueError("need at least one replica")
+        if n_replicas > len(self.devices):
+            raise ValueError(
+                f"cannot place {n_replicas} replicas on "
+                f"{len(self.devices)} devices")
+        scored = []
+        for device in self.devices:
+            u = _uniform(key, 0, device.device_id)
+            # exponential/weighted-rendezvous score: smaller is better
+            score = -math.log(u) / device.weight
+            scored.append((score, device.device_id))
+        scored.sort()
+        return [device_id for _score, device_id in scored[:n_replicas]]
+
+    def primary(self, key: int) -> int:
+        """The first replica's device."""
+        return self.place(key, 1)[0]

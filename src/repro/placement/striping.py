@@ -1,0 +1,100 @@
+"""File striping: inode -> object sequence -> OSD placement (§2.1.1).
+
+"File data is striped and replicated across a large number of objects on a
+large number of OSDs ... the sequence of object identifiers and OSD devices
+can be recalculated by the client — without interaction with the MDS
+cluster — given a single small input value, such as an inode number",
+augmented by a replication-group identifier.
+
+:class:`FileMapper` is that computation: a pure function of
+``(ino, size)`` and the (cluster-wide, rarely-changing) layout parameters.
+The MDS needs to store nothing per file beyond the inode number and the
+replication-group id — the "fixed size of only a few bytes" the paper
+highlights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .rush import StableHashPlacement
+
+
+@dataclass(frozen=True)
+class ObjectExtent:
+    """One object of a striped file and the byte range it carries."""
+
+    object_id: int
+    file_offset: int
+    length: int
+    osds: "tuple[int, ...]"  # replica devices, primary first
+
+
+@dataclass(frozen=True)
+class StripeLayout:
+    """Cluster-wide striping parameters."""
+
+    object_size: int = 1 << 22      # 4 MiB objects
+    n_replicas: int = 2
+    n_replication_groups: int = 256
+
+    def __post_init__(self) -> None:
+        if self.object_size < 1:
+            raise ValueError("object_size must be positive")
+        if self.n_replicas < 1:
+            raise ValueError("need at least one replica")
+        if self.n_replication_groups < 1:
+            raise ValueError("need at least one replication group")
+
+
+def object_id_for(ino: int, index: int) -> int:
+    """Deterministic object id for stripe ``index`` of file ``ino``."""
+    if ino < 0 or index < 0:
+        raise ValueError("ino and index must be non-negative")
+    return (ino << 24) | index
+
+
+def replication_group_for(ino: int, layout: StripeLayout) -> int:
+    """The file's replication group (all its objects share it, [28])."""
+    return (ino * 2654435761) % layout.n_replication_groups
+
+
+class FileMapper:
+    """Client-side recalculation of a file's object/OSD layout."""
+
+    def __init__(self, placement: StableHashPlacement,
+                 layout: StripeLayout = StripeLayout()) -> None:
+        self.placement = placement
+        self.layout = layout
+
+    def n_objects(self, size: int) -> int:
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        if size == 0:
+            return 0
+        return (size + self.layout.object_size - 1) // self.layout.object_size
+
+    def map_file(self, ino: int, size: int) -> List[ObjectExtent]:
+        """Every object of the file with its byte range and replica OSDs."""
+        group = replication_group_for(ino, self.layout)
+        extents: List[ObjectExtent] = []
+        for index in range(self.n_objects(size)):
+            offset = index * self.layout.object_size
+            length = min(self.layout.object_size, size - offset)
+            oid = object_id_for(ino, index)
+            # the placement key mixes the object id with the replication
+            # group so whole groups can be rebuilt together after failures
+            key = (oid << 16) ^ group
+            osds = tuple(self.placement.place(key, self.layout.n_replicas))
+            extents.append(ObjectExtent(object_id=oid, file_offset=offset,
+                                        length=length, osds=osds))
+        return extents
+
+    def locate_offset(self, ino: int, size: int, offset: int) -> ObjectExtent:
+        """The extent containing byte ``offset`` (what a read needs)."""
+        if not (0 <= offset < size):
+            raise ValueError(f"offset {offset} outside file of size {size}")
+        index = offset // self.layout.object_size
+        extents = self.map_file(ino, size)
+        return extents[index]

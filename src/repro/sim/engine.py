@@ -1,0 +1,275 @@
+"""Discrete-event simulation core: events, timeouts, and the environment.
+
+The kernel follows the classic event-calendar design (a binary heap keyed on
+``(time, priority, sequence)``) with generator-coroutine processes layered on
+top in :mod:`repro.sim.process`.  It is deliberately small, dependency-free
+and deterministic: two runs with the same seed and configuration produce
+identical event orderings, which the test-suite and benchmark harness rely
+on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+from .errors import EventAlreadyTriggered, StopSimulation
+
+#: Scheduling priorities.  Lower sorts earlier at equal times.  URGENT is used
+#: internally (e.g. resource handoffs) so that bookkeeping completes before
+#: ordinary activity scheduled at the same instant.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A condition that may be *triggered* once with a value or an error.
+
+    Callbacks appended to :attr:`callbacks` run, in order, when the event is
+    processed by the environment's loop.  After processing, the event is
+    *defused*: its value (or exception) is frozen and further ``succeed`` /
+    ``fail`` calls raise :class:`EventAlreadyTriggered`.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[[Event], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._defused = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the environment has run this event's callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception carried by the event."""
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None, *, priority: int = NORMAL) -> "Event":
+        """Schedule the event to fire successfully at the current time."""
+        if self._triggered:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, *, priority: int = NORMAL) -> "Event":
+        """Schedule the event to fire with ``exception`` at the current time."""
+        if self._triggered:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, priority=priority)
+        return self
+
+    def trigger_from(self, other: "Event") -> None:
+        """Trigger this event with the outcome of an already-processed event."""
+        if other.ok:
+            self.succeed(other.value)
+        else:
+            self.fail(other.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically ``delay`` time units from creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class Environment:
+    """Execution environment: the event calendar and simulation clock."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0  # tie-breaker preserving FIFO order at equal (t, prio)
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    # -- construction helpers ----------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` firing ``delay`` units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator) -> "Process":
+        """Start a new :class:`~repro.sim.process.Process` from a generator."""
+        from .process import Process
+
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """Event that succeeds once every event in ``events`` has succeeded.
+
+        The result value is the list of individual event values, in input
+        order.  If any constituent fails, the combined event fails with that
+        exception (first failure wins).
+        """
+        events = list(events)
+        combined = self.event()
+        remaining = len(events)
+        values: list[Any] = [None] * remaining
+        if remaining == 0:
+            combined.succeed([])
+            return combined
+
+        def make_cb(index: int):
+            def _cb(ev: Event) -> None:
+                nonlocal remaining
+                if combined.triggered:
+                    return
+                if not ev.ok:
+                    combined.fail(ev.value)
+                    return
+                values[index] = ev.value
+                remaining -= 1
+                if remaining == 0:
+                    combined.succeed(list(values))
+
+            return _cb
+
+        for i, ev in enumerate(events):
+            if ev.processed:
+                # Already-settled events contribute immediately.
+                make_cb(i)(ev)
+            else:
+                ev.callbacks.append(make_cb(i))
+        return combined
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        """Event that settles as soon as the first of ``events`` settles."""
+        events = list(events)
+        combined = self.event()
+        if not events:
+            combined.succeed(None)
+            return combined
+
+        def _cb(ev: Event) -> None:
+            if not combined.triggered:
+                combined.trigger_from(ev)
+
+        for ev in events:
+            if ev.processed:
+                _cb(ev)
+            else:
+                ev.callbacks.append(_cb)
+        return combined
+
+    # -- scheduling ---------------------------------------------------------
+    def schedule(self, event: Event, *, delay: float = 0.0,
+                 priority: int = NORMAL) -> None:
+        """Place a triggered event on the calendar ``delay`` units from now."""
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advance the clock to it)."""
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None  # mark processed
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        if not event._ok and not event._defused:
+            # Nobody handled the failure: surface it instead of silently
+            # swallowing a crashed process.
+            exc = event._value
+            raise exc
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run the event loop.
+
+        ``until`` may be:
+
+        * ``None`` — run until the calendar empties;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until that event is processed, returning
+          its value (or raising its exception).
+        """
+        if until is None:
+            stop_at = float("inf")
+            stop_event: Optional[Event] = None
+        elif isinstance(until, Event):
+            stop_at = float("inf")
+            stop_event = until
+
+            def _stop(ev: Event) -> None:
+                ev._defused = True
+                raise StopSimulation(ev)
+
+            if stop_event.processed:
+                if stop_event.ok:
+                    return stop_event.value
+                raise stop_event.value
+            stop_event.callbacks.append(_stop)
+        else:
+            stop_at = float(until)
+            stop_event = None
+            if stop_at < self._now:
+                raise ValueError(
+                    f"until={stop_at!r} is in the past (now={self._now!r})")
+
+        try:
+            while self._queue and self._queue[0][0] <= stop_at:
+                self.step()
+        except StopSimulation as stop:
+            ev: Event = stop.value  # type: ignore[assignment]
+            if ev.ok:
+                return ev.value
+            raise ev.value from None
+        if stop_event is not None:
+            raise RuntimeError(
+                "run(until=<event>) exhausted the calendar before the event "
+                "triggered")
+        if stop_at != float("inf"):
+            self._now = max(self._now, stop_at)
+        return None

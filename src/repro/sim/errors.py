@@ -1,0 +1,30 @@
+"""Exception types for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class EventAlreadyTriggered(SimulationError):
+    """An event was succeeded or failed more than once."""
+
+
+class StopSimulation(Exception):
+    """Internal control-flow signal used by :meth:`Environment.run`.
+
+    Raised (and caught) inside the event loop when the ``until`` event
+    triggers; user code never needs to handle it.
+    """
+
+    def __init__(self, value: object = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class ProcessCrashed(SimulationError):
+    """A process generator raised an exception that nobody caught.
+
+    The original exception is available as ``__cause__``.
+    """

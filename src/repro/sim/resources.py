@@ -1,0 +1,119 @@
+"""Shared resources for simulation processes: FIFO servers and stores.
+
+``Resource`` models a multi-server station with FIFO queueing (an MDS CPU,
+a disk spindle).  ``Store`` is an unbounded FIFO buffer of items with
+blocking ``get`` (an MDS request inbox).  Both are deliberately simple: the
+paper's storage model only needs average latencies with queueing (§5.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator
+
+from .engine import Environment, Event, URGENT
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    Yield it from a process to block until granted, then call
+    :meth:`Resource.release` (or use :meth:`Resource.use`).
+    """
+
+    __slots__ = ()
+
+
+class Resource:
+    """``capacity`` identical servers with a FIFO wait queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiting: Deque[Request] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently-held slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event fires when the claim is granted."""
+        req = Request(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            req.succeed(priority=URGENT)
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self) -> None:
+        """Return a slot, handing it to the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise RuntimeError("release() without a matching granted request")
+        if self._waiting:
+            nxt = self._waiting.popleft()
+            nxt.succeed(priority=URGENT)  # slot transfers; _in_use unchanged
+        else:
+            self._in_use -= 1
+
+    def cancel(self, req: Request) -> bool:
+        """Withdraw a not-yet-granted request. Returns True if it was queued."""
+        try:
+            self._waiting.remove(req)
+            return True
+        except ValueError:
+            return False
+
+    def use(self, hold_time: float) -> Generator[Event, Any, None]:
+        """Sub-process: acquire a slot, hold it ``hold_time``, release it.
+
+        Usage from a process body::
+
+            yield from disk.use(cfg.disk_read_s)
+        """
+        yield self.request()
+        try:
+            yield self.env.timeout(hold_time)
+        finally:
+            self.release()
+
+
+class Store:
+    """Unbounded FIFO buffer with blocking ``get``.
+
+    ``put`` never blocks; ``get`` returns an event carrying the next item.
+    Waiting getters are served strictly in arrival order.
+    """
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Add ``item``; wakes the oldest blocked getter, if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item, priority=URGENT)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that fires with the next item (immediately if available)."""
+        ev = Event(self.env)
+        if self._items:
+            ev.succeed(self._items.popleft(), priority=URGENT)
+        else:
+            self._getters.append(ev)
+        return ev

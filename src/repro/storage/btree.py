@@ -1,0 +1,386 @@
+"""B-tree directory objects with copy-on-write updates (§4.6).
+
+The paper stores directory contents — entries plus embedded inodes — "in a
+B-tree-like structure (similar to XFS) that allows incremental updates
+(small numbers of creates or deletes) with minimal modifications to
+on-disk structures (rewriting changed B-tree nodes).  The tree structure
+also facilitates copy-on-write techniques for safe updates and advanced
+file system features like snapshots."
+
+This module implements exactly that: an order-``t`` B-tree keyed by entry
+name, with *path-copying* (copy-on-write) mutation — every insert/delete
+returns a new root and reports how many nodes were written, which is the
+incremental-update cost the storage model charges.  Because old nodes are
+never modified, any previously-returned root remains a consistent snapshot
+of the directory for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class BTreeNode:
+    """An immutable B-tree node.
+
+    ``keys`` are entry names; ``values`` the embedded inode payloads.
+    ``children`` is empty for leaves, otherwise has ``len(keys) + 1``
+    elements.
+    """
+
+    keys: Tuple[str, ...] = ()
+    values: Tuple[Any, ...] = ()
+    children: Tuple["BTreeNode", ...] = ()
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def __post_init__(self) -> None:
+        if len(self.keys) != len(self.values):
+            raise ValueError("keys/values length mismatch")
+        if self.children and len(self.children) != len(self.keys) + 1:
+            raise ValueError("children/keys arity mismatch")
+
+
+@dataclass
+class WriteStats:
+    """Nodes written by one copy-on-write mutation."""
+
+    nodes_written: int = 0
+
+
+class DirectoryBTree:
+    """A copy-on-write B-tree mapping entry name -> embedded inode payload.
+
+    ``min_degree`` is the classic B-tree ``t``: nodes hold between ``t-1``
+    and ``2t-1`` keys (except the root).  All mutations return the number
+    of nodes written, the incremental I/O cost of the update.
+    """
+
+    def __init__(self, min_degree: int = 16,
+                 root: Optional[BTreeNode] = None) -> None:
+        if min_degree < 2:
+            raise ValueError("min_degree must be >= 2")
+        self.t = min_degree
+        self.root: BTreeNode = root if root is not None else BTreeNode()
+        self._count = sum(1 for _ in self.items()) if root is not None else 0
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key, default=_MISSING) is not _MISSING
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Look up an entry by name."""
+        node = self.root
+        while True:
+            index = _search(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                return node.values[index]
+            if node.is_leaf:
+                return default
+            node = node.children[index]
+
+    def items(self) -> Iterator[Tuple[str, Any]]:
+        """All entries in key order."""
+        yield from _iter_node(self.root)
+
+    def keys(self) -> Iterator[str]:
+        for key, _value in self.items():
+            yield key
+
+    def depth(self) -> int:
+        """Height of the tree (1 for a lone root leaf)."""
+        depth, node = 1, self.root
+        while not node.is_leaf:
+            node = node.children[0]
+            depth += 1
+        return depth
+
+    def snapshot(self) -> "DirectoryBTree":
+        """An O(1) frozen copy (copy-on-write shares all nodes)."""
+        clone = DirectoryBTree.__new__(DirectoryBTree)
+        clone.t = self.t
+        clone.root = self.root
+        clone._count = self._count
+        return clone
+
+    # ------------------------------------------------------------------
+    # mutations (path-copying: return nodes-written cost)
+    # ------------------------------------------------------------------
+    def insert(self, key: str, value: Any) -> int:
+        """Insert or replace ``key``; returns B-tree nodes written."""
+        stats = WriteStats()
+        existed = key in self
+        root = self.root
+        if len(root.keys) == 2 * self.t - 1:
+            # preemptive root split
+            left, mid_key, mid_val, right = _split(root, self.t, stats)
+            root = BTreeNode(keys=(mid_key,), values=(mid_val,),
+                             children=(left, right))
+            stats.nodes_written += 1
+        self.root = self._insert_nonfull(root, key, value, stats)
+        if not existed:
+            self._count += 1
+        return stats.nodes_written
+
+    def _insert_nonfull(self, node: BTreeNode, key: str, value: Any,
+                        stats: WriteStats) -> BTreeNode:
+        index = _search(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            # replace in place (one rewritten node per level of the path)
+            stats.nodes_written += 1
+            return BTreeNode(
+                keys=node.keys,
+                values=node.values[:index] + (value,)
+                + node.values[index + 1:],
+                children=node.children)
+        if node.is_leaf:
+            stats.nodes_written += 1
+            return BTreeNode(
+                keys=node.keys[:index] + (key,) + node.keys[index:],
+                values=node.values[:index] + (value,) + node.values[index:],
+            )
+        child = node.children[index]
+        if len(child.keys) == 2 * self.t - 1:
+            left, mid_key, mid_val, right = _split(child, self.t, stats)
+            node = BTreeNode(
+                keys=node.keys[:index] + (mid_key,) + node.keys[index:],
+                values=node.values[:index] + (mid_val,)
+                + node.values[index:],
+                children=node.children[:index] + (left, right)
+                + node.children[index + 1:])
+            if key == mid_key:
+                stats.nodes_written += 1
+                # replace the separator's value
+                return BTreeNode(
+                    keys=node.keys,
+                    values=node.values[:index] + (value,)
+                    + node.values[index + 1:],
+                    children=node.children)
+            if key > mid_key:
+                index += 1
+            child = node.children[index]
+        new_child = self._insert_nonfull(child, key, value, stats)
+        stats.nodes_written += 1
+        return BTreeNode(
+            keys=node.keys,
+            values=node.values,
+            children=node.children[:index] + (new_child,)
+            + node.children[index + 1:])
+
+    def delete(self, key: str) -> int:
+        """Remove ``key``; returns nodes written.  KeyError if missing."""
+        if key not in self:
+            raise KeyError(key)
+        stats = WriteStats()
+        root = self._delete(self.root, key, stats)
+        if not root.is_leaf and not root.keys:
+            root = root.children[0]  # shrink height
+        self.root = root
+        self._count -= 1
+        return stats.nodes_written
+
+    def _delete(self, node: BTreeNode, key: str,
+                stats: WriteStats) -> BTreeNode:
+        t = self.t
+        index = _search(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            if node.is_leaf:
+                stats.nodes_written += 1
+                return BTreeNode(
+                    keys=node.keys[:index] + node.keys[index + 1:],
+                    values=node.values[:index] + node.values[index + 1:])
+            # internal hit: replace with predecessor from the left child
+            left = node.children[index]
+            if len(left.keys) >= t:
+                pred_key, pred_val = _rightmost(left)
+                new_left = self._delete(left, pred_key, stats)
+                stats.nodes_written += 1
+                return BTreeNode(
+                    keys=node.keys[:index] + (pred_key,)
+                    + node.keys[index + 1:],
+                    values=node.values[:index] + (pred_val,)
+                    + node.values[index + 1:],
+                    children=node.children[:index] + (new_left,)
+                    + node.children[index + 1:])
+            right = node.children[index + 1]
+            if len(right.keys) >= t:
+                succ_key, succ_val = _leftmost(right)
+                new_right = self._delete(right, succ_key, stats)
+                stats.nodes_written += 1
+                return BTreeNode(
+                    keys=node.keys[:index] + (succ_key,)
+                    + node.keys[index + 1:],
+                    values=node.values[:index] + (succ_val,)
+                    + node.values[index + 1:],
+                    children=node.children[:index + 1] + (new_right,)
+                    + node.children[index + 2:])
+            # both children minimal: merge then recurse
+            merged, node = _merge_children(node, index, stats)
+            new_merged = self._delete(merged, key, stats)
+            stats.nodes_written += 1
+            return BTreeNode(
+                keys=node.keys, values=node.values,
+                children=node.children[:index] + (new_merged,)
+                + node.children[index + 1:])
+        if node.is_leaf:
+            raise KeyError(key)  # pragma: no cover - guarded by caller
+        child = node.children[index]
+        if len(child.keys) < t:
+            node, index = _grow_child(node, index, t, stats)
+            child = node.children[index]
+        new_child = self._delete(child, key, stats)
+        stats.nodes_written += 1
+        return BTreeNode(
+            keys=node.keys, values=node.values,
+            children=node.children[:index] + (new_child,)
+            + node.children[index + 1:])
+
+    # ------------------------------------------------------------------
+    # invariants (property tests)
+    # ------------------------------------------------------------------
+    def verify_invariants(self) -> None:
+        keys = list(self.keys())
+        assert keys == sorted(keys), "keys out of order"
+        assert len(keys) == self._count, "count drift"
+        _check_node(self.root, self.t, is_root=True)
+        leaf_depths = set(_leaf_depths(self.root, 1))
+        assert len(leaf_depths) <= 1, "leaves at unequal depth"
+
+
+_MISSING = object()
+
+
+def _search(keys: Tuple[str, ...], key: str) -> int:
+    """Index of the first element >= key (linear is fine at B-tree widths)."""
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _split(node: BTreeNode, t: int,
+           stats: WriteStats) -> Tuple[BTreeNode, str, Any, BTreeNode]:
+    """Split a full node into (left, separator_key, separator_value, right)."""
+    left = BTreeNode(keys=node.keys[:t - 1], values=node.values[:t - 1],
+                     children=node.children[:t] if node.children else ())
+    right = BTreeNode(keys=node.keys[t:], values=node.values[t:],
+                      children=node.children[t:] if node.children else ())
+    stats.nodes_written += 2
+    return left, node.keys[t - 1], node.values[t - 1], right
+
+
+def _rightmost(node: BTreeNode) -> Tuple[str, Any]:
+    while not node.is_leaf:
+        node = node.children[-1]
+    return node.keys[-1], node.values[-1]
+
+
+def _leftmost(node: BTreeNode) -> Tuple[str, Any]:
+    while not node.is_leaf:
+        node = node.children[0]
+    return node.keys[0], node.values[0]
+
+
+def _merge_children(node: BTreeNode, index: int,
+                    stats: WriteStats) -> Tuple[BTreeNode, BTreeNode]:
+    """Merge children[index] and children[index+1] around their separator."""
+    left, right = node.children[index], node.children[index + 1]
+    merged = BTreeNode(
+        keys=left.keys + (node.keys[index],) + right.keys,
+        values=left.values + (node.values[index],) + right.values,
+        children=left.children + right.children)
+    stats.nodes_written += 1
+    parent = BTreeNode(
+        keys=node.keys[:index] + node.keys[index + 1:],
+        values=node.values[:index] + node.values[index + 1:],
+        children=node.children[:index] + (merged,)
+        + node.children[index + 2:])
+    return merged, parent
+
+
+def _grow_child(node: BTreeNode, index: int, t: int,
+                stats: WriteStats) -> Tuple[BTreeNode, int]:
+    """Ensure children[index] has >= t keys (borrow or merge)."""
+    child = node.children[index]
+    if index > 0 and len(node.children[index - 1].keys) >= t:
+        left = node.children[index - 1]
+        new_child = BTreeNode(
+            keys=(node.keys[index - 1],) + child.keys,
+            values=(node.values[index - 1],) + child.values,
+            children=((left.children[-1],) + child.children
+                      if child.children else ()))
+        new_left = BTreeNode(
+            keys=left.keys[:-1], values=left.values[:-1],
+            children=left.children[:-1] if left.children else ())
+        stats.nodes_written += 2
+        return BTreeNode(
+            keys=node.keys[:index - 1] + (left.keys[-1],)
+            + node.keys[index:],
+            values=node.values[:index - 1] + (left.values[-1],)
+            + node.values[index:],
+            children=node.children[:index - 1] + (new_left, new_child)
+            + node.children[index + 1:]), index
+    if (index < len(node.children) - 1
+            and len(node.children[index + 1].keys) >= t):
+        right = node.children[index + 1]
+        new_child = BTreeNode(
+            keys=child.keys + (node.keys[index],),
+            values=child.values + (node.values[index],),
+            children=(child.children + (right.children[0],)
+                      if child.children else ()))
+        new_right = BTreeNode(
+            keys=right.keys[1:], values=right.values[1:],
+            children=right.children[1:] if right.children else ())
+        stats.nodes_written += 2
+        return BTreeNode(
+            keys=node.keys[:index] + (right.keys[0],)
+            + node.keys[index + 1:],
+            values=node.values[:index] + (right.values[0],)
+            + node.values[index + 1:],
+            children=node.children[:index] + (new_child, new_right)
+            + node.children[index + 2:]), index
+    # merge with a sibling
+    if index == len(node.children) - 1:
+        index -= 1
+    _merged, parent = _merge_children(node, index, stats)
+    return parent, index
+
+
+def _iter_node(node: BTreeNode) -> Iterator[Tuple[str, Any]]:
+    if node.is_leaf:
+        yield from zip(node.keys, node.values)
+        return
+    for i, key in enumerate(node.keys):
+        yield from _iter_node(node.children[i])
+        yield key, node.values[i]
+    yield from _iter_node(node.children[-1])
+
+
+def _check_node(node: BTreeNode, t: int, is_root: bool) -> None:
+    if not is_root:
+        assert len(node.keys) >= t - 1, "underfull node"
+    assert len(node.keys) <= 2 * t - 1, "overfull node"
+    assert list(node.keys) == sorted(node.keys), "node keys unsorted"
+    for child in node.children:
+        _check_node(child, t, is_root=False)
+
+
+def _leaf_depths(node: BTreeNode, depth: int):
+    if node.is_leaf:
+        yield depth
+    else:
+        for child in node.children:
+            yield from _leaf_depths(child, depth + 1)

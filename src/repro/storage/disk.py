@@ -1,0 +1,85 @@
+"""Average-latency disk device model.
+
+The paper deliberately simplifies storage to "average disk latencies and
+transactional throughputs only" (§5.1).  ``DiskDevice`` is exactly that: a
+FIFO service station where each transaction holds the device for a fixed
+mean service time.  Queueing delay emerges from contention; no seek or
+rotational modelling is attempted (nor was it in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+from ..sim import Environment, Event, Resource
+
+
+@dataclass
+class DiskStats:
+    """Cumulative transaction counts and busy time for one device."""
+
+    reads: int = 0
+    writes: int = 0
+    read_busy_s: float = 0.0
+    write_busy_s: float = 0.0
+
+    @property
+    def transactions(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def busy_s(self) -> float:
+        return self.read_busy_s + self.write_busy_s
+
+
+class DiskDevice:
+    """One storage device with fixed mean read/write transaction times."""
+
+    def __init__(self, env: Environment, *, read_s: float, write_s: float,
+                 name: str = "disk") -> None:
+        if read_s < 0 or write_s < 0:
+            raise ValueError("latencies must be non-negative")
+        self.env = env
+        self.name = name
+        self.read_s = read_s
+        self.write_s = write_s
+        self.stats = DiskStats()
+        self._server = Resource(env, capacity=1)
+
+    @property
+    def queue_length(self) -> int:
+        """Transactions currently waiting for the device."""
+        return self._server.queue_length
+
+    def read(self, units: int = 1) -> Generator[Event, Any, None]:
+        """Perform ``units`` back-to-back read transactions (a sub-process)."""
+        if units <= 0:
+            raise ValueError(f"units must be positive, got {units}")
+        yield self._server.request()
+        try:
+            hold = self.read_s * units
+            yield self.env.timeout(hold)
+            self.stats.reads += units
+            self.stats.read_busy_s += hold
+        finally:
+            self._server.release()
+
+    def write(self, units: int = 1) -> Generator[Event, Any, None]:
+        """Perform ``units`` back-to-back write transactions (a sub-process)."""
+        if units <= 0:
+            raise ValueError(f"units must be positive, got {units}")
+        yield self._server.request()
+        try:
+            hold = self.write_s * units
+            yield self.env.timeout(hold)
+            self.stats.writes += units
+            self.stats.write_busy_s += hold
+        finally:
+            self._server.release()
+
+    def utilization(self, elapsed_s: float) -> float:
+        """Fraction of ``elapsed_s`` the device spent busy."""
+        if elapsed_s <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_s / elapsed_s)

@@ -1,0 +1,79 @@
+"""Bounded per-MDS update journal (§4.6).
+
+Every metadata update is appended to a bounded log for fast stable commits.
+Entries that fall off the tail without having been re-modified are retired
+to the second (object-store) tier.  Because the log is sized on the order of
+MDS memory, its contents approximate the node's working set — which is why
+:meth:`warm_inos` exists: on startup/failover the cache can be preloaded
+from the log (§4.6).
+
+Appends are modelled as cheap sequential writes on a dedicated journal
+device (NVRAM-maskable); retirements cost a tier-2 write on the shared
+object store, batched per directory.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Generator, List
+
+from ..sim import Environment, Event
+from .disk import DiskDevice
+
+
+@dataclass
+class JournalStats:
+    appends: int = 0
+    retirements: int = 0
+    overwrites: int = 0  # re-modified while still in the log (absorbed)
+
+
+class Journal:
+    """Bounded log of recently-updated inodes."""
+
+    def __init__(self, env: Environment, device: DiskDevice,
+                 capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("journal capacity must be >= 1")
+        self.env = env
+        self.device = device
+        self.capacity = capacity
+        self.stats = JournalStats()
+        # ino -> insertion order; OrderedDict gives O(1) move-to-end, which
+        # models "subsequent modification restarts the entry's lifetime".
+        self._entries: "OrderedDict[int, None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, ino: int) -> bool:
+        return ino in self._entries
+
+    def append(self, ino: int) -> Generator[Event, Any, List[int]]:
+        """Log an update to ``ino``; returns inos retired by this append.
+
+        A sub-process: holds the journal device for one sequential write.
+        Retired inos must then be flushed to tier 2 by the caller (the MDS
+        does this off the critical path).
+        """
+        yield from self.device.write(1)
+        self.stats.appends += 1
+        if ino in self._entries:
+            self._entries.move_to_end(ino)
+            self.stats.overwrites += 1
+            return []
+        self._entries[ino] = None
+        retired: List[int] = []
+        while len(self._entries) > self.capacity:
+            old_ino, _ = self._entries.popitem(last=False)
+            retired.append(old_ino)
+            self.stats.retirements += 1
+        return retired
+
+    def warm_inos(self) -> List[int]:
+        """Inos currently in the log, oldest first (startup cache preload)."""
+        return list(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()

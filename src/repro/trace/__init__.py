@@ -1,0 +1,12 @@
+"""Workload trace record/replay (the paper's future-work item §7)."""
+
+from .events import TraceRecord
+from .recorder import RecordingWorkload, Trace
+from .replay import TraceReplayWorkload
+
+__all__ = [
+    "RecordingWorkload",
+    "Trace",
+    "TraceRecord",
+    "TraceReplayWorkload",
+]

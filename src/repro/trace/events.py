@@ -1,0 +1,68 @@
+"""Trace records: a serializable log of client metadata operations.
+
+The paper's future work calls for evaluation with "actual workload traces
+with matching file system metadata snapshots".  This package provides the
+infrastructure: any workload can be recorded while it runs, saved as JSON
+lines, and replayed later — against the same snapshot seed — as a
+deterministic workload of its own.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+from ..mds.messages import MdsRequest, OpType
+from ..namespace import path as pathmod
+from ..namespace.path import Path
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One issued metadata operation."""
+
+    t: float
+    client_id: int
+    op: str
+    path: str
+    dst_path: Optional[str] = None
+    mode: Optional[int] = None
+    size: Optional[int] = None
+    dir_hint: bool = False
+
+    @classmethod
+    def from_request(cls, t: float, request: MdsRequest) -> "TraceRecord":
+        return cls(
+            t=t,
+            client_id=request.client_id,
+            op=request.op.value,
+            path=pathmod.format_path(request.path),
+            dst_path=(pathmod.format_path(request.dst_path)
+                      if request.dst_path is not None else None),
+            mode=request.mode,
+            size=request.size,
+            dir_hint=request.dir_hint,
+        )
+
+    def to_request(self) -> MdsRequest:
+        return MdsRequest(
+            op=OpType(self.op),
+            path=pathmod.parse(self.path),
+            client_id=self.client_id,
+            dst_path=(pathmod.parse(self.dst_path)
+                      if self.dst_path is not None else None),
+            mode=self.mode,
+            size=self.size,
+            dir_hint=self.dir_hint,
+        )
+
+    def to_json(self) -> str:
+        payload = {k: v for k, v in asdict(self).items() if v is not None
+                   and not (k == "dir_hint" and v is False)}
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceRecord":
+        payload = json.loads(line)
+        return cls(**payload)

@@ -1,0 +1,63 @@
+"""Recording wrapper: capture any workload's issued operations."""
+
+from __future__ import annotations
+
+from typing import IO, Iterable, List, Optional
+
+from .events import TraceRecord
+
+
+class Trace:
+    """An in-memory operation trace with JSONL (de)serialization."""
+
+    def __init__(self, records: Optional[List[TraceRecord]] = None) -> None:
+        self.records: List[TraceRecord] = list(records or [])
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def append(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+    def clients(self) -> "set[int]":
+        return {r.client_id for r in self.records}
+
+    def duration(self) -> float:
+        if not self.records:
+            return 0.0
+        times = [r.t for r in self.records]
+        return max(times) - min(times)
+
+    # -- serialization ------------------------------------------------------
+    def dump(self, fp: IO[str]) -> int:
+        """Write JSON lines; returns records written."""
+        count = 0
+        for record in self.records:
+            fp.write(record.to_json())
+            fp.write("\n")
+            count += 1
+        return count
+
+    @classmethod
+    def load(cls, fp: Iterable[str]) -> "Trace":
+        records = [TraceRecord.from_json(line)
+                   for line in fp if line.strip()]
+        return cls(records)
+
+
+class RecordingWorkload:
+    """Wraps a workload; every generated request is logged to a trace."""
+
+    def __init__(self, inner, trace: Optional[Trace] = None) -> None:
+        self.inner = inner
+        self.trace = trace if trace is not None else Trace()
+
+    def next_delay(self, client) -> float:
+        return self.inner.next_delay(client)
+
+    def next_op(self, client):
+        request = self.inner.next_op(client)
+        if request is not None:
+            self.trace.append(
+                TraceRecord.from_request(client.env.now, request))
+        return request

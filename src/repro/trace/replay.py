@@ -1,0 +1,53 @@
+"""Replay a recorded trace as a workload.
+
+Each client replays its own recorded operation stream with the original
+inter-arrival gaps, so a trace captured under one partitioning strategy
+can be re-driven against another — the apples-to-apples comparison the
+paper's future-work section asks for.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from ..mds.messages import MdsRequest
+from .events import TraceRecord
+from .recorder import Trace
+
+#: park exhausted clients effectively forever
+IDLE_S = 1e9
+
+
+class TraceReplayWorkload:
+    """Workload that replays a :class:`Trace` per client."""
+
+    def __init__(self, trace: Trace, time_scale: float = 1.0) -> None:
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self.time_scale = time_scale
+        per_client: Dict[int, List[TraceRecord]] = defaultdict(list)
+        for record in trace.records:
+            per_client[record.client_id].append(record)
+        for records in per_client.values():
+            records.sort(key=lambda r: r.t)
+        self._scripts: Dict[int, List[TraceRecord]] = dict(per_client)
+
+    def remaining(self, client_id: int) -> int:
+        state = self._scripts.get(client_id, [])
+        return len(state)
+
+    # -- Workload protocol ----------------------------------------------------
+    def next_delay(self, client) -> float:
+        script = self._scripts.get(client.client_id)
+        if not script:
+            return IDLE_S
+        due = script[0].t * self.time_scale
+        return max(0.0, due - client.env.now)
+
+    def next_op(self, client) -> Optional[MdsRequest]:
+        script = self._scripts.get(client.client_id)
+        if not script:
+            return None
+        record = script.pop(0)
+        return record.to_request()

@@ -1,0 +1,58 @@
+"""Unit tests for the replica registry."""
+
+from repro.cache import ReplicaRegistry
+
+
+def test_register_and_holders():
+    reg = ReplicaRegistry()
+    reg.register(5, 1)
+    reg.register(5, 2)
+    assert reg.holders(5) == frozenset({1, 2})
+    assert reg.is_replicated(5)
+
+
+def test_holders_empty_for_unknown():
+    reg = ReplicaRegistry()
+    assert reg.holders(9) == frozenset()
+    assert not reg.is_replicated(9)
+
+
+def test_unregister_removes_holder():
+    reg = ReplicaRegistry()
+    reg.register(5, 1)
+    reg.register(5, 2)
+    reg.unregister(5, 1)
+    assert reg.holders(5) == frozenset({2})
+
+
+def test_unregister_last_holder_cleans_up():
+    reg = ReplicaRegistry()
+    reg.register(5, 1)
+    reg.unregister(5, 1)
+    assert len(reg) == 0
+    assert not reg.is_replicated(5)
+
+
+def test_unregister_idempotent():
+    reg = ReplicaRegistry()
+    reg.unregister(5, 1)  # never registered: no error
+    reg.register(5, 1)
+    reg.unregister(5, 2)  # different holder: no error
+    assert reg.holders(5) == frozenset({1})
+
+
+def test_drop_ino_returns_holders():
+    reg = ReplicaRegistry()
+    reg.register(7, 1)
+    reg.register(7, 3)
+    dropped = reg.drop_ino(7)
+    assert dropped == frozenset({1, 3})
+    assert not reg.is_replicated(7)
+    assert reg.drop_ino(7) == frozenset()
+
+
+def test_replicated_inos():
+    reg = ReplicaRegistry()
+    reg.register(1, 0)
+    reg.register(2, 0)
+    assert reg.replicated_inos() == frozenset({1, 2})

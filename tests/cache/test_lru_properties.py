@@ -1,0 +1,85 @@
+"""Property-based tests: the cache's tree constraint under random workloads.
+
+The machine mirrors cache contents against a model namespace: inserts always
+provide a cached parent (as the MDS does, inserting prefixes root-first) and
+the invariant checks pin-count consistency, the connected-tree property, and
+the capacity bound (modulo tolerated all-pinned overflow).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import (RuleBasedStateMachine, initialize, invariant,
+                                 rule)
+
+from repro.cache import MetadataCache
+
+
+class CacheMachine(RuleBasedStateMachine):
+    @initialize(capacity=st.integers(2, 12))
+    def setup(self, capacity):
+        self.cache = MetadataCache(capacity)
+        self.cache.insert(1, None, True)
+        self.cache.pin(1)  # the MDS always pins the root
+        self.next_ino = 2
+        self.pins = []  # inos we have externally pinned (besides root)
+
+    def _cached_dirs(self):
+        return [e.ino for e in self.cache.entries() if e.is_dir]
+
+    def _cached_anything(self):
+        return [e.ino for e in self.cache.entries()]
+
+    @rule(parent_choice=st.integers(0, 100), make_dir=st.booleans(),
+          prefetched=st.booleans(), replica=st.booleans())
+    def insert_under_cached_dir(self, parent_choice, make_dir, prefetched,
+                                replica):
+        dirs = self._cached_dirs()
+        parent = dirs[parent_choice % len(dirs)]
+        ino = self.next_ino
+        self.next_ino += 1
+        self.cache.insert(ino, parent, make_dir, replica=replica,
+                          prefetched=prefetched)
+
+    @rule(choice=st.integers(0, 100))
+    def touch(self, choice):
+        inos = self._cached_anything()
+        self.cache.get(inos[choice % len(inos)])
+
+    @rule(choice=st.integers(0, 100))
+    def external_pin(self, choice):
+        inos = self._cached_anything()
+        ino = inos[choice % len(inos)]
+        self.cache.pin(ino)
+        self.pins.append(ino)
+
+    @rule()
+    def release_pin(self):
+        if self.pins:
+            self.cache.unpin(self.pins.pop())
+
+    @rule(choice=st.integers(0, 100))
+    def remove_unpinned_leaf(self, choice):
+        candidates = [e.ino for e in self.cache.entries()
+                      if not e.pinned and e.ino != 1]
+        if not candidates:
+            return
+        self.cache.remove(candidates[choice % len(candidates)])
+
+    @invariant()
+    def consistent(self):
+        if not hasattr(self, "cache"):
+            return
+        self.cache.verify_invariants()
+        # root is always present (externally pinned at setup)
+        assert 1 in self.cache
+        # capacity respected unless everything is pinned; at most the most
+        # recent insertion may remain evictable (insert never evicts itself)
+        if self.cache.overflowed:
+            evictable = [e for e in self.cache.entries() if not e.pinned]
+            assert len(evictable) <= 1, (
+                "cache overflowed while multiple evictable entries existed")
+
+
+CacheMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None)
+TestCacheProperties = CacheMachine.TestCase

@@ -1,0 +1,55 @@
+"""Unit tests for the client location cache."""
+
+import random
+
+from repro.clients import LocationCache
+from repro.mds import ANY_NODE
+
+
+def test_root_known_initially():
+    lc = LocationCache()
+    prefix, loc = lc.deepest_known(("a", "b"))
+    assert prefix == ()
+    assert loc == ANY_NODE
+
+
+def test_learn_and_deepest():
+    lc = LocationCache()
+    lc.learn(("home",), 2)
+    lc.learn(("home", "alice"), 1)
+    prefix, loc = lc.deepest_known(("home", "alice", "x.txt"))
+    assert prefix == ("home", "alice")
+    assert loc == 1
+    prefix, loc = lc.deepest_known(("home", "bob"))
+    assert prefix == ("home",)
+    assert loc == 2
+
+
+def test_learn_all():
+    lc = LocationCache()
+    lc.learn_all({("a",): 0, ("a", "b"): 1})
+    assert lc.deepest_known(("a", "b"))[1] == 1
+    assert len(lc) == 3  # root + 2
+
+
+def test_forget_drops_prefix_but_never_root():
+    lc = LocationCache()
+    lc.learn(("a",), 3)
+    lc.forget(("a",))
+    assert lc.deepest_known(("a",)) == ((), ANY_NODE)
+    lc.forget(())  # no-op
+    assert lc.deepest_known(()) == ((), ANY_NODE)
+
+
+def test_choose_destination_exact():
+    lc = LocationCache()
+    lc.learn(("a",), 3)
+    rng = random.Random(0)
+    assert lc.choose_destination(("a", "f"), rng, 8) == 3
+
+
+def test_choose_destination_any_is_random_uniform():
+    lc = LocationCache()
+    rng = random.Random(0)
+    picks = {lc.choose_destination(("x",), rng, 4) for _ in range(100)}
+    assert picks == {0, 1, 2, 3}

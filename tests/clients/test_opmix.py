@@ -1,0 +1,51 @@
+"""Unit tests for op-mix sampling."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.clients import GENERAL_MIX, OpMix
+from repro.mds import OpType
+
+
+def test_empty_mix_rejected():
+    with pytest.raises(ValueError):
+        OpMix({})
+
+
+def test_nonpositive_weights_rejected():
+    with pytest.raises(ValueError):
+        OpMix({OpType.OPEN: 0.0})
+
+
+def test_single_op_always_sampled():
+    mix = OpMix({OpType.STAT: 1.0})
+    rng = random.Random(1)
+    assert all(mix.sample(rng) is OpType.STAT for _ in range(20))
+
+
+def test_sampling_matches_weights():
+    mix = OpMix({OpType.OPEN: 3.0, OpType.STAT: 1.0})
+    rng = random.Random(42)
+    counts = Counter(mix.sample(rng) for _ in range(4000))
+    ratio = counts[OpType.OPEN] / counts[OpType.STAT]
+    assert 2.4 < ratio < 3.7
+
+
+def test_general_mix_dominated_by_reads():
+    mix = OpMix(GENERAL_MIX)
+    rng = random.Random(7)
+    counts = Counter(mix.sample(rng) for _ in range(5000))
+    reads = counts[OpType.OPEN] + counts[OpType.STAT] + counts[OpType.CLOSE]
+    mutations = (counts[OpType.CREATE] + counts[OpType.UNLINK]
+                 + counts[OpType.RENAME] + counts[OpType.CHMOD])
+    assert reads > 3 * mutations
+    assert counts[OpType.RENAME] < 0.03 * sum(counts.values())
+
+
+def test_sampling_deterministic_with_seed():
+    mix = OpMix(GENERAL_MIX)
+    a = [mix.sample(random.Random(5)) for _ in range(1)]
+    b = [mix.sample(random.Random(5)) for _ in range(1)]
+    assert a == b

@@ -1,0 +1,128 @@
+"""Statistical validation of the general-purpose workload generator.
+
+The figure results depend on the generator actually exhibiting the
+properties it claims (§5.2): op frequencies matching the configured mix,
+strong directory locality, and occasional shared-tree accesses.  These
+tests sample a large number of generated operations offline (no cluster)
+and verify the distributions.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.clients import (Client, GENERAL_MIX, GeneralWorkload,
+                           GeneralWorkloadSpec)
+from repro.mds import OpType
+from repro.namespace import Namespace, SnapshotSpec, generate_snapshot
+from repro.namespace import path as pathmod
+from repro.sim import Environment, RngStreams
+
+
+class _Probe:
+    """A minimal stand-in for the cluster a Client normally needs."""
+
+    class _Strategy:
+        def client_locate(self, path, dir_hint=False):
+            return 0
+
+    strategy = _Strategy()
+    n_mds = 1
+
+
+def sample_ops(n=4000, spec=None, seed=3, n_clients=8):
+    env = Environment()
+    streams = RngStreams(seed)
+    ns = Namespace()
+    snapshot = generate_snapshot(
+        ns, SnapshotSpec(n_users=8, files_per_user=60), streams)
+    wl = GeneralWorkload(ns, snapshot.user_roots,
+                         spec or GeneralWorkloadSpec())
+    clients = [Client(env, i, _Probe(), wl, streams.py_stream(f"c{i}"))
+               for i in range(n_clients)]
+    ops = []
+    i = 0
+    while len(ops) < n:
+        client = clients[i % n_clients]
+        i += 1
+        req = wl.next_op(client)
+        if req is not None:
+            ops.append(req)
+            if req.op is OpType.OPEN:
+                client.last_opened = req.path
+    return ns, wl, clients, ops
+
+
+def test_op_frequencies_track_the_mix():
+    ns, wl, clients, ops = sample_ops(6000)
+    counts = Counter(op.op for op in ops)
+    total = sum(counts.values())
+    # reads dominate roughly per GENERAL_MIX (stat bursts after readdir
+    # legitimately inflate STAT above its base weight)
+    assert counts[OpType.STAT] / total > GENERAL_MIX[OpType.STAT] * 0.8
+    assert counts[OpType.OPEN] / total > 0.5 * GENERAL_MIX[OpType.OPEN]
+    # rare mutations stay rare
+    assert counts[OpType.RENAME] / total < 0.03
+    assert counts[OpType.CHMOD] / total < 0.03
+    assert counts[OpType.LINK] / total < 0.03
+
+
+def test_directory_locality():
+    ns, wl, clients, ops = sample_ops(4000)
+    # consecutive ops from the same client mostly share a directory
+    per_client = {}
+    same = total = 0
+    for op in ops:
+        prev = per_client.get(op.client_id)
+        cur = pathmod.parent(op.path) if op.path else ()
+        if prev is not None:
+            total += 1
+            if prev == cur or prev == op.path or cur == ():
+                same += 1
+        per_client[op.client_id] = cur
+    assert same / total > 0.5  # Floyd/Ellis-style locality
+
+
+def test_shared_tree_fraction():
+    spec = GeneralWorkloadSpec(shared_tree_prob=0.2)
+    ns, wl, clients, ops = sample_ops(4000, spec=spec)
+    shared = sum(1 for op in ops if op.path[:1] == ("usr",))
+    assert 0.10 < shared / len(ops) < 0.35
+
+
+def test_zero_shared_tree():
+    spec = GeneralWorkloadSpec(shared_tree_prob=0.0)
+    ns, wl, clients, ops = sample_ops(2000, spec=spec)
+    assert not any(op.path[:1] == ("usr",) for op in ops)
+
+
+def test_readdir_triggers_stat_burst():
+    ns, wl, clients, ops = sample_ops(5000)
+    burst_hits = 0
+    readdirs = 0
+    by_client = {}
+    for op in ops:
+        seq = by_client.setdefault(op.client_id, [])
+        seq.append(op)
+    for seq in by_client.values():
+        for i, op in enumerate(seq[:-1]):
+            if op.op is OpType.READDIR:
+                readdirs += 1
+                if seq[i + 1].op is OpType.STAT and \
+                        pathmod.parent(seq[i + 1].path) == op.path:
+                    burst_hits += 1
+    assert readdirs > 10
+    assert burst_hits / readdirs > 0.8
+
+
+def test_creates_use_unique_names():
+    ns, wl, clients, ops = sample_ops(5000)
+    created = [op.path for op in ops
+               if op.op in (OpType.CREATE, OpType.MKDIR)]
+    assert len(created) == len(set(created))
+
+
+def test_deterministic_generation():
+    _, _, _, a = sample_ops(500, seed=5)
+    _, _, _, b = sample_ops(500, seed=5)
+    assert [(o.op, o.path) for o in a] == [(o.op, o.path) for o in b]

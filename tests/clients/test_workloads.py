@@ -1,0 +1,207 @@
+"""Tests for workload generators driving real clients against a cluster."""
+
+import pytest
+
+from repro.clients import (Client, FlashCrowdSpec, FlashCrowdWorkload,
+                           GeneralWorkload, GeneralWorkloadSpec,
+                           ScientificSpec, ScientificWorkload, ShiftSpec,
+                           ShiftingWorkload)
+from repro.mds import MdsCluster, OpType, SimParams
+from repro.namespace import Namespace, SnapshotSpec, generate_snapshot
+from repro.namespace import path as p
+from repro.partition import make_strategy
+from repro.sim import Environment, RngStreams
+
+
+def build(strategy_name="DynamicSubtree", n_mds=3, seed=5, n_users=4,
+          files_per_user=30, params=None):
+    env = Environment()
+    streams = RngStreams(seed)
+    ns = Namespace()
+    stats = generate_snapshot(
+        ns, SnapshotSpec(n_users=n_users, files_per_user=files_per_user),
+        streams)
+    strat = make_strategy(strategy_name, n_mds)
+    strat.bind(ns)
+    cluster = MdsCluster(env, ns, strat, params or SimParams())
+    cluster.start()
+    return env, streams, ns, stats, cluster
+
+
+def spawn_clients(env, streams, cluster, workload, n):
+    clients = []
+    for i in range(n):
+        c = Client(env, i, cluster, workload, streams.py_stream(f"client.{i}"))
+        c.start()
+        clients.append(c)
+    return clients
+
+
+def total_ops(clients):
+    return sum(c.stats.ops_completed for c in clients)
+
+
+def test_general_workload_completes_ops():
+    env, streams, ns, stats, cluster = build()
+    wl = GeneralWorkload(ns, stats.user_roots,
+                         GeneralWorkloadSpec(think_time_s=0.02))
+    clients = spawn_clients(env, streams, cluster, wl, 8)
+    env.run(until=3.0)
+    assert total_ops(clients) > 100
+    error_rate = sum(c.stats.errors for c in clients) / total_ops(clients)
+    assert error_rate < 0.10
+
+
+def test_general_workload_deterministic():
+    def one_run():
+        env, streams, ns, stats, cluster = build(seed=9)
+        wl = GeneralWorkload(ns, stats.user_roots)
+        clients = spawn_clients(env, streams, cluster, wl, 4)
+        env.run(until=2.0)
+        return total_ops(clients), len(ns)
+
+    assert one_run() == one_run()
+
+
+def test_general_workload_requires_roots():
+    ns = Namespace()
+    with pytest.raises(ValueError):
+        GeneralWorkload(ns, [])
+
+
+def test_general_clients_stay_in_their_home():
+    env, streams, ns, stats, cluster = build()
+    wl = GeneralWorkload(ns, stats.user_roots,
+                         GeneralWorkloadSpec(shared_tree_prob=0.0))
+    client = Client(env, 0, cluster, wl, streams.py_stream("c0"))
+    home = wl.home_for(client)
+    for _ in range(200):
+        req = wl.next_op(client)
+        if req is None:
+            continue
+        assert req.path[:len(home)] == home
+
+
+def test_general_workload_creates_grow_namespace():
+    env, streams, ns, stats, cluster = build()
+    before = len(ns)
+    wl = GeneralWorkload(ns, stats.user_roots,
+                         GeneralWorkloadSpec(think_time_s=0.01))
+    clients = spawn_clients(env, streams, cluster, wl, 6)
+    env.run(until=3.0)
+    assert len(ns) > before
+    ns.verify_invariants()
+
+
+def test_scientific_burst_targets_shared_file():
+    env, streams, ns, stats, cluster = build()
+    shared = stats.user_roots[0]
+    wl = ScientificWorkload(ns, shared, ScientificSpec(phase_len_s=0.5))
+    clients = spawn_clients(env, streams, cluster, wl, 10)
+    env.run(until=0.4)  # inside phase 0: the read burst
+    opens = [c for c in clients if c.stats.ops_completed > 0]
+    assert len(opens) >= 8
+    # the input file became the hottest item on its authority
+    ino = ns.resolve(wl.input_file).ino
+    authority = cluster.strategy.authority_of_ino(ino)
+    assert cluster.nodes[authority].popularity.read(ino, env.now) > 5
+
+
+def test_scientific_checkpoint_phase_creates_files():
+    env, streams, ns, stats, cluster = build()
+    shared = stats.user_roots[0]
+    wl = ScientificWorkload(ns, shared, ScientificSpec(phase_len_s=0.3))
+    spawn_clients(env, streams, cluster, wl, 6)
+    env.run(until=1.2)  # covers phase 2 (creates)
+    names = ns.readdir(shared)
+    assert any(n.startswith("ckpt.") for n in names)
+
+
+def test_scientific_rejects_missing_dir():
+    ns = Namespace()
+    with pytest.raises(ValueError):
+        ScientificWorkload(ns, p.parse("/nope"))
+
+
+def test_shifting_workload_migrates_half():
+    env, streams, ns, stats, cluster = build()
+    wl = ShiftingWorkload(ns, stats.user_roots,
+                          ShiftSpec(shift_time_s=1.0, migrate_fraction=0.5))
+    clients = spawn_clients(env, streams, cluster, wl, 20)
+    migrating = [c for c in clients if wl.will_migrate(c)]
+    assert 4 <= len(migrating) <= 16
+    env.run(until=2.5)
+    for c in migrating:
+        state = c.scratch.get("general", {})
+        assert state.get("migrated")
+        assert state["home"] in wl.victim_roots
+
+
+def test_shifting_workload_creates_in_victim_after_shift():
+    env, streams, ns, stats, cluster = build()
+    wl = ShiftingWorkload(ns, stats.user_roots,
+                          ShiftSpec(shift_time_s=0.5, migrate_fraction=1.0))
+    spawn_clients(env, streams, cluster, wl, 8)
+    count_before = sum(ns.subtree_inode_count(ns.resolve(r).ino)
+                       for r in wl.victim_roots)
+    env.run(until=3.0)
+    count_after = sum(ns.subtree_inode_count(ns.resolve(r).ino)
+                      for r in wl.victim_roots)
+    assert count_after > count_before
+
+
+def test_flash_crowd_all_clients_hit_target():
+    env, streams, ns, stats, cluster = build()
+    target = None
+    root = stats.user_roots[0]
+    for name, ino in ns.resolve(root).children.items():
+        if ns.inode(ino).is_file:
+            target = root + (name,)
+            break
+    assert target is not None
+    wl = FlashCrowdWorkload(ns, target,
+                            FlashCrowdSpec(start_s=0.5,
+                                           requests_per_client=2))
+    clients = spawn_clients(env, streams, cluster, wl, 30)
+    env.run(until=3.0)
+    done = [c.stats.ops_completed for c in clients]
+    assert all(d == 2 for d in done)
+
+
+def test_flash_crowd_requires_existing_file():
+    env, streams, ns, stats, cluster = build()
+    with pytest.raises(ValueError):
+        FlashCrowdWorkload(ns, p.parse("/missing.dat"))
+
+
+def test_clients_learn_locations_under_subtree():
+    env, streams, ns, stats, cluster = build("StaticSubtree")
+    wl = GeneralWorkload(ns, stats.user_roots)
+    clients = spawn_clients(env, streams, cluster, wl, 4)
+    env.run(until=2.0)
+    assert all(len(c.locations) > 1 for c in clients)
+
+
+def test_forwards_decline_as_clients_learn():
+    env, streams, ns, stats, cluster = build("StaticSubtree")
+    wl = GeneralWorkload(ns, stats.user_roots,
+                         GeneralWorkloadSpec(think_time_s=0.01))
+    clients = spawn_clients(env, streams, cluster, wl, 6)
+    env.run(until=1.0)
+    early = sum(s.forwards for s in cluster.node_stats())
+    early_ops = total_ops(clients)
+    env.run(until=4.0)
+    late = sum(s.forwards for s in cluster.node_stats()) - early
+    late_ops = total_ops(clients) - early_ops
+    assert late / max(1, late_ops) < early / max(1, early_ops)
+
+
+def test_hash_clients_never_forwarded_without_renames():
+    env, streams, ns, stats, cluster = build("FileHash")
+    spec = GeneralWorkloadSpec(think_time_s=0.01)
+    spec.op_weights = {OpType.OPEN: 0.5, OpType.STAT: 0.5}
+    wl = GeneralWorkload(ns, stats.user_roots, spec)
+    clients = spawn_clients(env, streams, cluster, wl, 5)
+    env.run(until=2.0)
+    assert sum(s.forwards for s in cluster.node_stats()) == 0
+    assert total_ops(clients) > 50

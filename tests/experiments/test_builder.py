@@ -1,0 +1,78 @@
+"""Tests for simulation construction from configs."""
+
+import pytest
+
+from repro.clients import (FlashCrowdWorkload, GeneralWorkload,
+                           ScientificWorkload, ShiftingWorkload)
+from repro.experiments import ExperimentConfig, build_simulation
+
+
+def small(workload="general", **kw):
+    return ExperimentConfig(n_mds=3, scale=0.2, workload=workload,
+                            warmup_s=0.2, duration_s=0.5, **kw)
+
+
+def test_builds_all_components():
+    sim = build_simulation(small())
+    assert sim.cluster.n_mds == 3
+    assert len(sim.clients) == small().n_clients
+    assert sim.total_metadata == len(sim.ns)
+    assert isinstance(sim.workload, GeneralWorkload)
+
+
+def test_same_seed_same_namespace():
+    a = build_simulation(small(seed=5))
+    b = build_simulation(small(seed=5))
+    assert len(a.ns) == len(b.ns)
+
+
+def test_cache_fraction_sizing():
+    cfg = small(cache_fraction=0.1, cache_capacity_per_mds=None)
+    sim = build_simulation(cfg)
+    expected = max(16, int(0.1 * len(sim.ns)))
+    assert sim.cluster.params.cache_capacity == expected
+
+
+def test_cache_absolute_sizing():
+    cfg = small(cache_capacity_per_mds=123)
+    sim = build_simulation(cfg)
+    assert sim.cluster.params.cache_capacity == 123
+
+
+def test_workload_kinds():
+    assert isinstance(build_simulation(small("scaling")).workload,
+                      GeneralWorkload)
+    assert isinstance(build_simulation(small("shifting")).workload,
+                      ShiftingWorkload)
+    assert isinstance(build_simulation(small("scientific")).workload,
+                      ScientificWorkload)
+    assert isinstance(build_simulation(small("flash")).workload,
+                      FlashCrowdWorkload)
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ValueError, match="unknown workload"):
+        build_simulation(small("nope"))
+
+
+def test_shifting_victims_belong_to_victim_node():
+    cfg = small("shifting", workload_args={"victim_node": 1,
+                                           "shift_time_s": 0.1})
+    sim = build_simulation(cfg)
+    wl = sim.workload
+    for root in wl.victim_roots:
+        ino = sim.ns.resolve(root).ino
+        assert sim.cluster.strategy.authority_of_ino(ino) == 1
+
+
+def test_flash_target_is_existing_file():
+    sim = build_simulation(small("flash"))
+    target = sim.workload.target
+    assert sim.ns.resolve(target).is_file
+
+
+def test_simulation_runs():
+    sim = build_simulation(small())
+    sim.run_to(cfg_t := small().run_until_s)
+    assert sim.env.now == cfg_t
+    assert sum(c.stats.ops_completed for c in sim.clients) > 0

@@ -1,0 +1,64 @@
+"""Tests for experiment configuration scaling rules."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, env_scale
+
+
+def test_defaults_are_consistent():
+    cfg = ExperimentConfig()
+    assert cfg.n_users == cfg.users_per_mds * cfg.n_mds
+    assert cfg.n_clients == cfg.clients_per_mds * cfg.n_mds
+    assert cfg.run_until_s > cfg.warmup_s
+
+
+def test_scale_multiplies_population():
+    base = ExperimentConfig(scale=1.0)
+    half = ExperimentConfig(scale=0.5)
+    assert half.n_users == base.n_users // 2
+    assert half.n_clients == base.n_clients // 2
+    assert half.run_until_s < base.run_until_s
+
+
+def test_cluster_size_scales_system():
+    small = ExperimentConfig(n_mds=4)
+    large = ExperimentConfig(n_mds=8)
+    assert large.n_users == 2 * small.n_users
+    assert large.n_clients == 2 * small.n_clients
+
+
+def test_minimums_enforced():
+    tiny = ExperimentConfig(scale=0.001)
+    assert tiny.n_users >= 1
+    assert tiny.n_clients >= 1
+    assert tiny.n_files_per_user >= 5
+
+
+def test_replace_returns_new_config():
+    cfg = ExperimentConfig()
+    other = cfg.replace(strategy="FileHash")
+    assert other.strategy == "FileHash"
+    assert cfg.strategy == "DynamicSubtree"
+
+
+def test_measure_window():
+    cfg = ExperimentConfig(warmup_s=2.0, duration_s=4.0, scale=1.0)
+    t0, t1 = cfg.measure_window
+    assert t0 == 2.0
+    assert t1 == 6.0
+
+
+def test_env_scale_default(monkeypatch):
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    assert env_scale(0.7) == 0.7
+
+
+def test_env_scale_reads_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "1.5")
+    assert env_scale() == 1.5
+
+
+def test_env_scale_rejects_nonpositive(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0")
+    with pytest.raises(ValueError):
+        env_scale()

@@ -1,0 +1,45 @@
+"""Tests for figure CSV export and the CLI plumbing."""
+
+import csv
+import io
+
+import pytest
+
+from repro.experiments import FigureResult
+
+
+@pytest.fixture
+def result():
+    return FigureResult(
+        figure="Figure 2", title="demo", headers=["size", "a", "b"],
+        rows=[[4, 1.5, 2.5], [8, 3.0, 4.0]],
+        series={"a": [(4, 1.5), (8, 3.0)]})
+
+
+def test_to_csv_roundtrip(result):
+    text = result.to_csv()
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows[0] == ["size", "a", "b"]
+    assert rows[1] == ["4", "1.5", "2.5"]
+    assert len(rows) == 3
+
+
+def test_save_csv_names_file_after_figure(result, tmp_path):
+    path = result.save_csv(tmp_path)
+    assert path.endswith("fig2.csv")
+    content = open(path).read()
+    assert content.startswith("size,a,b")
+
+
+def test_save_csv_creates_directory(result, tmp_path):
+    target = tmp_path / "nested" / "out"
+    path = result.save_csv(target)
+    assert (target / "fig2.csv").exists()
+    assert str(target) in path
+
+
+def test_extension_figure_csv_name(tmp_path):
+    ext = FigureResult(figure="Extension A", title="t",
+                       headers=["x"], rows=[[1]])
+    path = ext.save_csv(tmp_path)
+    assert path.endswith("extensiona.csv")

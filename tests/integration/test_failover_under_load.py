@@ -1,0 +1,91 @@
+"""Integration: node failure and recovery while clients keep running."""
+
+import pytest
+
+from repro.clients import Client, GeneralWorkload, GeneralWorkloadSpec
+from repro.mds import MdsCluster, SimParams, fail_node, recover_node
+from repro.namespace import Namespace, SnapshotSpec, generate_snapshot
+from repro.partition import make_strategy
+from repro.sim import Environment, RngStreams
+
+
+@pytest.fixture
+def running_system():
+    env = Environment()
+    streams = RngStreams(13)
+    ns = Namespace()
+    snapshot = generate_snapshot(
+        ns, SnapshotSpec(n_users=9, files_per_user=40), streams)
+    strat = make_strategy("DynamicSubtree", 3)
+    strat.bind(ns)
+    cluster = MdsCluster(env, ns, strat,
+                         SimParams(cache_capacity=400, journal_capacity=400))
+    cluster.start()
+    wl = GeneralWorkload(ns, snapshot.user_roots,
+                         GeneralWorkloadSpec(think_time_s=0.01))
+    clients = [Client(env, i, cluster, wl, streams.py_stream(f"c{i}"))
+               for i in range(18)]
+    for c in clients:
+        c.start()
+    return env, ns, cluster, clients
+
+
+def test_service_survives_failure_and_recovery(running_system):
+    env, ns, cluster, clients = running_system
+    env.run(until=2.0)
+    before = sum(c.stats.ops_completed for c in clients)
+    assert before > 200
+
+    fail_node(cluster, 1)
+    env.run(until=4.0)
+    during = sum(c.stats.ops_completed for c in clients) - before
+    assert during > 200  # the cluster keeps serving on two nodes
+
+    done = env.event()
+
+    def bring_back():
+        loaded = yield from recover_node(cluster, 1, warm=True)
+        done.succeed(loaded)
+
+    env.process(bring_back())
+    env.run(until=done)
+    env.run(until=7.0)
+    after = sum(c.stats.ops_completed for c in clients) - before - during
+    assert after > 200
+    errors = sum(c.stats.errors for c in clients)
+    total = sum(c.stats.ops_completed for c in clients)
+    assert errors < 0.05 * total
+    ns.verify_invariants()
+    for node in cluster.nodes:
+        node.cache.verify_invariants()
+
+
+def test_no_request_is_ever_lost(running_system):
+    env, ns, cluster, clients = running_system
+    env.run(until=1.5)
+    fail_node(cluster, 0)
+    env.run(until=3.0)
+    # closed-loop invariant: every client always has exactly one request
+    # outstanding or is thinking — nobody deadlocks on a dead node
+    for c in clients:
+        assert c.stats.ops_completed > 20
+
+
+def test_balancer_repopulates_recovered_node(running_system):
+    env, ns, cluster, clients = running_system
+    env.run(until=2.0)
+    fail_node(cluster, 2)
+    env.run(until=4.0)
+    done = env.event()
+
+    def bring_back():
+        yield from recover_node(cluster, 2, warm=False)
+        done.succeed(None)
+
+    env.process(bring_back())
+    env.run(until=done)
+    assert cluster.strategy.subtrees_of(2) == []
+    env.run(until=12.0)  # several balance rounds
+    assert len(cluster.strategy.subtrees_of(2)) > 0
+    served_after = cluster.nodes[2].stats.throughput(10.0, 12.0)
+    assert served_after > 0

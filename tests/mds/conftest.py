@@ -1,0 +1,48 @@
+"""Shared fixtures for MDS-layer tests."""
+
+import pytest
+
+from repro.mds import MdsCluster, MdsRequest, OpType, SimParams
+from repro.namespace import Namespace, build_tree
+from repro.namespace import path as p
+from repro.partition import make_strategy
+from repro.sim import Environment
+
+TREE = {
+    "home": {
+        "alice": {"src": {"main.c": 50, "util.c": 30}, "notes.txt": 10},
+        "bob": {"doc": {"thesis.tex": 100}},
+    },
+    "usr": {"pkg0": {"bin0": 70, "bin1": 80}},
+}
+
+
+def make_cluster(strategy_name="DynamicSubtree", n_mds=3, params=None,
+                 tree=TREE):
+    env = Environment()
+    ns = Namespace()
+    build_tree(ns, tree)
+    strat = make_strategy(strategy_name, n_mds)
+    strat.bind(ns)
+    cluster = MdsCluster(env, ns, strat, params or SimParams())
+    cluster.start()
+    return env, ns, cluster
+
+
+def run_request(env, cluster, op, path_text, dest=None, **kw):
+    """Submit one request and run the sim until its reply arrives."""
+    path = p.parse(path_text)
+    req = MdsRequest(op=op, path=path, client_id=0, **kw)
+    if dest is None:
+        target = cluster.ns.try_resolve(path)
+        if target is not None:
+            dest = cluster.strategy.authority_of_ino(target.ino)
+        else:
+            dest = 0
+    done = cluster.submit(dest, req)
+    return env.run(until=done)
+
+
+@pytest.fixture
+def dynamic_cluster():
+    return make_cluster("DynamicSubtree")

@@ -1,0 +1,104 @@
+"""Tests for cluster-level plumbing and measurement helpers."""
+
+import pytest
+
+from repro.mds import (MdsCluster, MdsRequest, OpType, READ_ONLY_OPS,
+                       MUTATING_OPS, SimParams)
+from repro.namespace import Namespace, build_tree
+from repro.partition import make_strategy
+from repro.sim import Environment
+
+from .conftest import TREE, make_cluster, run_request
+
+
+def test_op_categories_partition_the_op_space():
+    assert READ_ONLY_OPS | MUTATING_OPS == set(OpType)
+    assert not READ_ONLY_OPS & MUTATING_OPS
+    assert OpType.STAT in READ_ONLY_OPS
+    assert OpType.CREATE in MUTATING_OPS
+
+
+def test_cluster_size_must_match_strategy():
+    env = Environment()
+    ns = Namespace()
+    build_tree(ns, TREE)
+    strat = make_strategy("DynamicSubtree", 3)
+    strat.bind(ns)
+    with pytest.raises(ValueError):
+        MdsCluster(env, ns, strat, SimParams(), n_mds=4)
+
+
+def test_cluster_binds_unbound_strategy():
+    env = Environment()
+    ns = Namespace()
+    build_tree(ns, TREE)
+    strat = make_strategy("DynamicSubtree", 3)  # not bound
+    cluster = MdsCluster(env, ns, strat)
+    assert strat.ns is ns
+    assert cluster.n_mds == 3
+
+
+def test_submit_validates_destination(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    req = MdsRequest(op=OpType.STAT, path=(), client_id=0)
+    with pytest.raises(ValueError):
+        cluster.submit(99, req)
+
+
+def test_start_is_idempotent(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    cluster.start()
+    cluster.start()  # no duplicate worker storm
+    reply = run_request(env, cluster, OpType.STAT, "/home/alice/notes.txt")
+    assert reply.ok
+
+
+def test_osd_pool_scales_with_cluster():
+    _env, _ns, small = make_cluster("DynamicSubtree", n_mds=2)
+    _env, _ns, large = make_cluster("DynamicSubtree", n_mds=4)
+    assert len(large.object_store.osds) == 2 * len(small.object_store.osds)
+
+
+def test_cache_report_aggregates_all_nodes(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    run_request(env, cluster, OpType.OPEN, "/home/alice/src/main.c")
+    report = cluster.cache_report()
+    assert set(report) == {"local_prefix", "local_other",
+                           "replica_prefix", "replica_other"}
+    assert sum(report.values()) == sum(len(n.cache) for n in cluster.nodes)
+
+
+def test_throughput_helpers(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    for _ in range(10):
+        run_request(env, cluster, OpType.STAT, "/home/alice/notes.txt")
+    env.run(until=0.2)  # at least one full stats bucket
+    rates = cluster.node_throughputs(0.0, 0.2)
+    assert len(rates) == cluster.n_mds
+    assert cluster.mean_node_throughput(0.0, 0.2) == pytest.approx(
+        sum(rates) / len(rates))
+    assert sum(rates) * 0.2 == pytest.approx(10, abs=0.5)
+
+
+def test_balancer_only_for_dynamic():
+    _env, _ns, static = make_cluster("StaticSubtree")
+    assert static.balancer is None
+    _env, _ns, dynamic = make_cluster("DynamicSubtree")
+    assert dynamic.balancer is not None
+
+
+def test_deferred_work_counter():
+    env, ns, cluster = make_cluster("LazyHybrid")
+    assert cluster.deferred_work_created == 0
+    reply = run_request(env, cluster, OpType.CHMOD, "/home/alice",
+                        mode=0o700, dest=0)
+    assert reply.ok
+    assert cluster.deferred_work_created > 0
+
+
+def test_pick_live_node_skips_failed():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=3)
+    from repro.mds import fail_node
+    fail_node(cluster, 0)
+    for _ in range(20):
+        assert cluster.pick_live_node() != 0

@@ -1,0 +1,55 @@
+"""Tests for SimParams validation."""
+
+import pytest
+
+from repro.mds import MdsCluster, SimParams
+from repro.namespace import Namespace, build_tree
+from repro.partition import make_strategy
+from repro.sim import Environment
+
+
+def test_defaults_validate():
+    assert SimParams().validate() is not None
+
+
+def test_negative_latency_rejected():
+    with pytest.raises(ValueError, match="cpu_op_s"):
+        SimParams(cpu_op_s=-0.001).validate()
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError, match="cache_capacity"):
+        SimParams(cache_capacity=0).validate()
+    with pytest.raises(ValueError, match="workers_per_node"):
+        SimParams(workers_per_node=0).validate()
+
+
+def test_inverted_traffic_thresholds_rejected():
+    with pytest.raises(ValueError, match="oscillate"):
+        SimParams(replicate_threshold=10.0,
+                  unreplicate_threshold=20.0).validate()
+
+
+def test_inverted_dirfrag_thresholds_rejected():
+    with pytest.raises(ValueError, match="dirfrag"):
+        SimParams(dirfrag_size_threshold=10,
+                  dirfrag_unfrag_size=10).validate()
+
+
+def test_bad_speed_factors_rejected():
+    with pytest.raises(ValueError):
+        SimParams(node_speed_factors=(1.0, 0.0)).validate()
+
+
+def test_max_forward_hops_floor():
+    with pytest.raises(ValueError, match="max_forward_hops"):
+        SimParams(max_forward_hops=0).validate()
+
+
+def test_cluster_construction_validates():
+    env = Environment()
+    ns = Namespace()
+    build_tree(ns, {"a": {"f": 1}})
+    strat = make_strategy("DynamicSubtree", 2)
+    with pytest.raises(ValueError):
+        MdsCluster(env, ns, strat, SimParams(net_hop_s=-1.0))

@@ -1,0 +1,128 @@
+"""Tests for dynamic directory fragmentation (§4.3)."""
+
+import dataclasses
+
+import pytest
+
+from repro.mds import DirFragManager, OpType, SimParams
+from repro.namespace import path as p
+
+from .conftest import make_cluster, run_request
+
+
+def frag_params(**kw):
+    base = dict(dirfrag_enabled=True, dirfrag_size_threshold=20,
+                dirfrag_unfrag_size=5)
+    base.update(kw)
+    return SimParams(**base)
+
+
+def giant_tree(n=30):
+    return {"data": {f"f{i:03d}": 1 for i in range(n)}, "small": {"x": 1}}
+
+
+def test_requires_dynamic_strategy():
+    env, ns, cluster = make_cluster("StaticSubtree", params=frag_params())
+    with pytest.raises(TypeError):
+        DirFragManager(cluster)
+
+
+def test_scan_fragments_giant_directory():
+    env, ns, cluster = make_cluster("DynamicSubtree", params=frag_params(),
+                                    tree=giant_tree(30))
+    manager = DirFragManager(cluster)
+    manager.scan_once()
+    data = ns.resolve(p.parse("/data")).ino
+    small = ns.resolve(p.parse("/small")).ino
+    assert data in cluster.strategy.fragmented
+    assert small not in cluster.strategy.fragmented
+    assert manager.fragmented_count == 1
+
+
+def test_fragmented_dir_entries_scatter():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=4,
+                                    params=frag_params(),
+                                    tree=giant_tree(40))
+    DirFragManager(cluster).scan_once()
+    data = ns.resolve(p.parse("/data"))
+    owners = {cluster.strategy.authority_of_ino(i)
+              for i in data.children.values()}
+    assert len(owners) > 1
+
+
+def test_scan_consolidates_shrunken_directory():
+    env, ns, cluster = make_cluster("DynamicSubtree", params=frag_params(),
+                                    tree=giant_tree(30))
+    manager = DirFragManager(cluster)
+    manager.scan_once()
+    data_path = p.parse("/data")
+    data = ns.resolve(data_path).ino
+    assert data in cluster.strategy.fragmented
+    # shrink it below the unfrag threshold
+    for name in list(ns.readdir(data_path))[4:]:
+        ns.unlink(data_path + (name,))
+    manager.scan_once()
+    assert data not in cluster.strategy.fragmented
+    assert manager.consolidated_count == 1
+
+
+def test_scan_consolidates_deleted_directory():
+    env, ns, cluster = make_cluster("DynamicSubtree", params=frag_params(),
+                                    tree=giant_tree(30))
+    manager = DirFragManager(cluster)
+    manager.scan_once()
+    data_path = p.parse("/data")
+    data = ns.resolve(data_path).ino
+    for name in list(ns.readdir(data_path)):
+        ns.unlink(data_path + (name,))
+    ns.unlink(data_path)
+    manager.scan_once()
+    assert data not in cluster.strategy.fragmented
+
+
+def test_cluster_starts_manager_when_enabled():
+    env, ns, cluster = make_cluster("DynamicSubtree", params=frag_params(),
+                                    tree=giant_tree(25))
+    assert cluster.dirfrag is not None
+    env.run(until=1.5)  # one scan interval
+    data = ns.resolve(p.parse("/data")).ino
+    assert data in cluster.strategy.fragmented
+
+
+def test_requests_to_fragmented_dir_spread_over_nodes():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=4,
+                                    params=frag_params(),
+                                    tree=giant_tree(40))
+    DirFragManager(cluster).scan_once()
+    served_by = set()
+    for i in range(12):
+        reply = run_request(env, cluster, OpType.STAT, f"/data/f{i:03d}")
+        assert reply.ok
+        served_by.add(reply.served_by)
+    assert len(served_by) > 1
+
+
+def test_readdir_on_fragmented_dir_pays_gather_cost():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=4,
+                                    params=frag_params(),
+                                    tree=giant_tree(40))
+    run_request(env, cluster, OpType.READDIR, "/data")  # warm the cache
+    plain = run_request(env, cluster, OpType.READDIR, "/data")
+    DirFragManager(cluster).scan_once()
+    fragged = run_request(env, cluster, OpType.READDIR, "/data")
+    # the gather adds a parallel round trip on top of the warm path
+    assert fragged.latency_s >= (plain.latency_s
+                                 + 2 * cluster.params.net_hop_s - 1e-9)
+
+
+def test_creates_in_fragmented_dir_follow_name_hash():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=4,
+                                    params=frag_params(),
+                                    tree=giant_tree(40))
+    DirFragManager(cluster).scan_once()
+    owners = set()
+    for i in range(8):
+        reply = run_request(env, cluster, OpType.CREATE, f"/data/new{i}")
+        assert reply.ok
+        owners.add(reply.served_by)
+    assert len(owners) > 1

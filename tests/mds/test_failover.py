@@ -1,0 +1,150 @@
+"""Tests for MDS failure, takeover, and journal-warmed recovery."""
+
+import pytest
+
+from repro.mds import OpType, fail_node, recover_node, warm_from_journal
+from repro.namespace import path as p
+
+from .conftest import make_cluster, run_request
+
+
+def drive(env, gen):
+    result = {}
+
+    def body():
+        result["value"] = yield from gen
+
+    env.run(until=env.process(body()))
+    return result["value"]
+
+
+def test_failover_requires_dynamic_strategy():
+    env, ns, cluster = make_cluster("StaticSubtree")
+    with pytest.raises(TypeError):
+        fail_node(cluster, 0)
+
+
+def test_fail_node_reassigns_all_delegations():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=3)
+    victim = 0
+    owned_before = cluster.strategy.subtrees_of(victim)
+    reassigned = fail_node(cluster, victim)
+    assert set(reassigned) == set(owned_before)
+    assert cluster.strategy.subtrees_of(victim) == []
+    for node in ns.iter_subtree(1):
+        assert cluster.strategy.authority_of_ino(node.ino) != victim
+
+
+def test_fail_node_with_standby_takes_everything():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=3)
+    owned = set(cluster.strategy.subtrees_of(0))
+    fail_node(cluster, 0, standby=2)
+    for subtree in owned:
+        assert cluster.strategy.authority_of_ino(subtree) == 2
+
+
+def test_fail_node_twice_rejected():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=3)
+    fail_node(cluster, 0)
+    with pytest.raises(RuntimeError):
+        fail_node(cluster, 0)
+
+
+def test_cannot_fail_last_node():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=2)
+    fail_node(cluster, 0)
+    with pytest.raises(RuntimeError):
+        fail_node(cluster, 1)
+
+
+def test_standby_must_be_live():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=3)
+    fail_node(cluster, 1)
+    with pytest.raises(ValueError):
+        fail_node(cluster, 0, standby=1)
+
+
+def test_requests_survive_a_failure():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=3)
+    target = "/home/alice/notes.txt"
+    ino = ns.resolve(p.parse(target)).ino
+    victim = cluster.strategy.authority_of_ino(ino)
+    run_request(env, cluster, OpType.OPEN, target)  # warm, learn
+    fail_node(cluster, victim)
+    # a client with stale knowledge still addresses the dead node:
+    reply = run_request(env, cluster, OpType.OPEN, target, dest=victim)
+    assert reply.ok
+    assert reply.served_by != victim
+    assert reply.forwarded >= 1
+
+
+def test_failed_node_state_is_dropped():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=3)
+    run_request(env, cluster, OpType.OPEN, "/home/alice/notes.txt")
+    victim = cluster.strategy.authority_of_ino(
+        ns.resolve(p.parse("/home/alice/notes.txt")).ino)
+    assert len(cluster.nodes[victim].cache) > 0
+    fail_node(cluster, victim)
+    assert len(cluster.nodes[victim].cache) == 0
+    assert len(cluster.nodes[victim].replicas) == 0
+
+
+def test_journal_survives_failure_and_warms_takeover():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=3)
+    # mutate through the victim so its journal fills
+    target = "/home/alice/notes.txt"
+    ino = ns.resolve(p.parse(target)).ino
+    victim = cluster.strategy.authority_of_ino(ino)
+    for i in range(5):
+        run_request(env, cluster, OpType.SETATTR, target, size=i + 1)
+    assert ino in cluster.nodes[victim].journal
+    fail_node(cluster, victim, standby=(victim + 1) % 3)
+    standby = cluster.nodes[(victim + 1) % 3]
+    loaded = drive(env, warm_from_journal(cluster, victim,
+                                          standby.node_id))
+    assert loaded >= 1
+    assert ino in standby.cache
+    assert not standby.cache.get(ino, touch=False).replica
+
+
+def test_warm_recovery_preloads_cache():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=3)
+    target = "/home/alice/notes.txt"
+    ino = ns.resolve(p.parse(target)).ino
+    victim = cluster.strategy.authority_of_ino(ino)
+    for i in range(3):
+        run_request(env, cluster, OpType.SETATTR, target, size=i + 1)
+    fail_node(cluster, victim)
+    loaded = drive(env, recover_node(cluster, victim, warm=True))
+    node = cluster.nodes[victim]
+    assert not node.failed
+    assert loaded >= 1
+    assert len(node.cache) > 1  # root + warmed entries
+
+
+def test_cold_recovery_starts_empty():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=3)
+    run_request(env, cluster, OpType.SETATTR, "/home/alice/notes.txt",
+                size=9)
+    victim = cluster.strategy.authority_of_ino(
+        ns.resolve(p.parse("/home/alice/notes.txt")).ino)
+    fail_node(cluster, victim)
+    loaded = drive(env, recover_node(cluster, victim, warm=False))
+    assert loaded == 0
+    assert len(cluster.nodes[victim].cache) == 1  # just the root
+
+
+def test_recover_unfailed_node_rejected():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=3)
+    with pytest.raises(RuntimeError):
+        drive(env, recover_node(cluster, 0))
+
+
+def test_service_continues_through_fail_and_recover():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=3)
+    fail_node(cluster, 1)
+    reply = run_request(env, cluster, OpType.STAT, "/home/bob/doc/thesis.tex")
+    assert reply.ok
+    drive(env, recover_node(cluster, 1))
+    reply = run_request(env, cluster, OpType.STAT, "/usr/pkg0/bin0")
+    assert reply.ok

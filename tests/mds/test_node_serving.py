@@ -1,0 +1,192 @@
+"""Functional tests: a single MDS cluster serving individual requests."""
+
+import pytest
+
+from repro.mds import MdsRequest, OpType
+from repro.namespace import path as p
+
+from .conftest import make_cluster, run_request
+
+
+def test_stat_served_by_authority(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    reply = run_request(env, cluster, OpType.STAT, "/home/alice/notes.txt")
+    assert reply.ok
+    assert reply.forwarded == 0
+    target = ns.resolve(p.parse("/home/alice/notes.txt"))
+    assert reply.served_by == cluster.strategy.authority_of_ino(target.ino)
+
+
+def test_request_to_wrong_node_is_forwarded(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    target = ns.resolve(p.parse("/home/alice/notes.txt"))
+    authority = cluster.strategy.authority_of_ino(target.ino)
+    wrong = (authority + 1) % cluster.n_mds
+    reply = run_request(env, cluster, OpType.STAT, "/home/alice/notes.txt",
+                        dest=wrong)
+    assert reply.ok
+    assert reply.forwarded == 1
+    assert reply.served_by == authority
+    assert cluster.nodes[wrong].stats.forwards == 1
+
+
+def test_stat_missing_path_errors(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    reply = run_request(env, cluster, OpType.STAT, "/home/carol/x.txt",
+                        dest=0)
+    assert not reply.ok
+    assert "no such" in reply.error
+
+
+def test_serving_populates_cache_with_prefixes(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    reply = run_request(env, cluster, OpType.OPEN, "/home/alice/src/main.c")
+    node = cluster.nodes[reply.served_by]
+    for text in ("/home", "/home/alice", "/home/alice/src",
+                 "/home/alice/src/main.c"):
+        assert ns.resolve(p.parse(text)).ino in node.cache
+
+
+def test_directory_grain_prefetch_brings_siblings(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    reply = run_request(env, cluster, OpType.OPEN, "/home/alice/src/main.c")
+    node = cluster.nodes[reply.served_by]
+    sibling = ns.resolve(p.parse("/home/alice/src/util.c"))
+    assert sibling.ino in node.cache
+
+
+def test_second_access_hits_cache(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    run_request(env, cluster, OpType.OPEN, "/home/alice/notes.txt")
+    reads_before = cluster.object_store.total_reads
+    reply = run_request(env, cluster, OpType.OPEN, "/home/alice/notes.txt")
+    assert cluster.object_store.total_reads == reads_before
+    node = cluster.nodes[reply.served_by]
+    assert node.stats.cache_hits > 0
+
+
+def test_create_adds_file_and_journals(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    reply = run_request(env, cluster, OpType.CREATE, "/home/bob/new.txt",
+                        uid=3, size=42)
+    assert reply.ok
+    inode = ns.resolve(p.parse("/home/bob/new.txt"))
+    assert inode.size == 42 and inode.owner == 3
+    node = cluster.nodes[reply.served_by]
+    assert node.stats.journal_appends == 1
+    assert inode.ino in node.journal
+
+
+def test_create_in_missing_dir_errors(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    reply = run_request(env, cluster, OpType.CREATE, "/nope/new.txt", dest=0)
+    assert not reply.ok
+
+
+def test_mkdir(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    reply = run_request(env, cluster, OpType.MKDIR, "/home/alice/newdir")
+    assert reply.ok
+    assert ns.resolve(p.parse("/home/alice/newdir")).is_dir
+
+
+def test_unlink_removes_entry(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    reply = run_request(env, cluster, OpType.UNLINK, "/home/alice/notes.txt")
+    assert reply.ok
+    assert ns.try_resolve(p.parse("/home/alice/notes.txt")) is None
+
+
+def test_rename_moves_entry(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    reply = run_request(env, cluster, OpType.RENAME, "/home/alice/notes.txt",
+                        dst_path=p.parse("/home/bob/notes.txt"))
+    assert reply.ok
+    assert ns.try_resolve(p.parse("/home/bob/notes.txt")) is not None
+
+
+def test_chmod_applies_mode(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    reply = run_request(env, cluster, OpType.CHMOD, "/home/alice/notes.txt",
+                        mode=0o600)
+    assert reply.ok
+    assert ns.resolve(p.parse("/home/alice/notes.txt")).mode == 0o600
+
+
+def test_setattr_updates_size(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    reply = run_request(env, cluster, OpType.SETATTR,
+                        "/home/alice/notes.txt", size=999)
+    assert reply.ok
+    assert ns.resolve(p.parse("/home/alice/notes.txt")).size == 999
+
+
+def test_link_creates_second_name(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    reply = run_request(env, cluster, OpType.LINK, "/home/alice/notes.txt",
+                        dst_path=p.parse("/home/bob/alias.txt"))
+    assert reply.ok
+    assert ns.resolve(p.parse("/home/bob/alias.txt")).nlink == 2
+    ns.verify_invariants()
+
+
+def test_readdir(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    reply = run_request(env, cluster, OpType.READDIR, "/home/alice")
+    assert reply.ok
+
+
+def test_reply_contains_distribution_info(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    reply = run_request(env, cluster, OpType.STAT, "/home/alice/notes.txt")
+    path = p.parse("/home/alice/notes.txt")
+    assert path in reply.locations
+    target = ns.resolve(path)
+    assert reply.locations[path] == cluster.strategy.authority_of_ino(
+        target.ino)
+    # prefixes included too; root is advertised as replicated-everywhere
+    from repro.mds import ANY_NODE
+    assert reply.locations[()] == ANY_NODE
+
+
+def test_hash_strategy_replies_skip_distribution_info():
+    env, ns, cluster = make_cluster("FileHash")
+    reply = run_request(env, cluster, OpType.STAT, "/home/alice/notes.txt")
+    assert reply.ok
+    assert reply.locations == {}
+
+
+def test_latency_positive_and_bounded(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    reply = run_request(env, cluster, OpType.STAT, "/home/alice/notes.txt")
+    assert 0 < reply.latency_s < 1.0
+
+
+def test_filehash_uses_inode_grain_io():
+    env, ns, cluster = make_cluster("FileHash")
+    run_request(env, cluster, OpType.OPEN, "/home/alice/src/main.c")
+    assert cluster.object_store.stats.inode_reads > 0
+    assert cluster.object_store.stats.dir_reads == 0
+
+
+def test_lazyhybrid_serves_without_prefix_fetches():
+    env, ns, cluster = make_cluster("LazyHybrid")
+    reply = run_request(env, cluster, OpType.OPEN, "/home/alice/src/main.c")
+    assert reply.ok
+    node = cluster.nodes[reply.served_by]
+    # only the target itself was looked up: exactly one miss, no remote fetch
+    assert node.stats.remote_fetches == 0
+    assert node.stats.cache_misses == 1
+
+
+def test_subtree_traversal_fetches_remote_prefixes_as_replicas():
+    env, ns, cluster = make_cluster("DirHash", n_mds=4)
+    reply = run_request(env, cluster, OpType.OPEN, "/home/alice/src/main.c")
+    node = cluster.nodes[reply.served_by]
+    # under DirHash the ancestors usually live elsewhere; any that did are
+    # now replicas in the serving node's cache
+    replicas = [e for e in node.cache.entries() if e.replica]
+    if node.stats.remote_fetches:
+        assert replicas
+    census = node.cache.slot_census()
+    assert sum(census.values()) == len(node.cache)

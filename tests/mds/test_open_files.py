@@ -1,0 +1,132 @@
+"""Tests for open-file handles and unlinked-while-open orphans (§4.5)."""
+
+import pytest
+
+from repro.mds import MdsRequest, OpType
+from repro.namespace import path as p
+
+from .conftest import make_cluster, run_request
+
+
+def open_file(env, cluster, text):
+    reply = run_request(env, cluster, OpType.OPEN, text)
+    assert reply.ok
+    return reply
+
+
+def close_file(env, cluster, text, ino, dest=None):
+    return run_request(env, cluster, OpType.CLOSE, text, ino=ino, dest=dest)
+
+
+def test_open_reply_carries_handle(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    reply = open_file(env, cluster, "/home/alice/notes.txt")
+    assert reply.target_ino == ns.resolve(
+        p.parse("/home/alice/notes.txt")).ino
+
+
+def test_open_pins_and_close_unpins(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    reply = open_file(env, cluster, "/home/alice/notes.txt")
+    node = cluster.nodes[reply.served_by]
+    ino = reply.target_ino
+    assert node.open_file_count == 1
+    assert node.cache.get(ino, touch=False).external_pins == 1
+    close_file(env, cluster, "/home/alice/notes.txt", ino)
+    assert node.open_file_count == 0
+    assert node.cache.get(ino, touch=False).external_pins == 0
+
+
+def test_refcounted_opens(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    r1 = open_file(env, cluster, "/home/alice/notes.txt")
+    open_file(env, cluster, "/home/alice/notes.txt")
+    node = cluster.nodes[r1.served_by]
+    ino = r1.target_ino
+    assert node._open_refs[ino] == 2
+    close_file(env, cluster, "/home/alice/notes.txt", ino)
+    assert node._open_refs[ino] == 1
+    assert node.cache.get(ino, touch=False).external_pins == 1
+
+
+def test_unlink_while_open_retains_orphan(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    reply = open_file(env, cluster, "/home/alice/notes.txt")
+    ino = reply.target_ino
+    unlink = run_request(env, cluster, OpType.UNLINK,
+                         "/home/alice/notes.txt")
+    assert unlink.ok
+    # unreachable by name...
+    assert ns.try_resolve(p.parse("/home/alice/notes.txt")) is None
+    # ...but retained by handle
+    assert ns.is_orphan(ino)
+    assert ino in ns
+    assert ino in cluster.orphan_authorities
+
+
+def test_close_releases_orphan(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    reply = open_file(env, cluster, "/home/alice/notes.txt")
+    ino = reply.target_ino
+    run_request(env, cluster, OpType.UNLINK, "/home/alice/notes.txt")
+    close = close_file(env, cluster, "/home/alice/notes.txt", ino)
+    assert close.ok
+    assert not ns.is_orphan(ino)
+    assert ino not in ns
+    assert ino not in cluster.orphan_authorities
+    ns.verify_invariants()
+
+
+def test_orphan_survives_until_last_close(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    reply = open_file(env, cluster, "/home/alice/notes.txt")
+    open_file(env, cluster, "/home/alice/notes.txt")
+    ino = reply.target_ino
+    run_request(env, cluster, OpType.UNLINK, "/home/alice/notes.txt")
+    close_file(env, cluster, "/home/alice/notes.txt", ino)
+    assert ns.is_orphan(ino)  # one handle still live
+    close_file(env, cluster, "/home/alice/notes.txt", ino)
+    assert ino not in ns
+
+
+def test_unlink_without_open_deletes_immediately(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    ino = ns.resolve(p.parse("/home/alice/notes.txt")).ino
+    run_request(env, cluster, OpType.UNLINK, "/home/alice/notes.txt")
+    assert ino not in ns
+    assert not cluster.orphan_authorities
+
+
+def test_close_without_handle_errors_gracefully(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    reply = run_request(env, cluster, OpType.CLOSE, "/home/alice/ghost",
+                        ino=99999, dest=0)
+    assert not reply.ok
+
+
+def test_hardlinked_file_not_orphaned_by_one_unlink(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    run_request(env, cluster, OpType.LINK, "/home/alice/notes.txt",
+                dst_path=p.parse("/home/bob/alias.txt"))
+    reply = open_file(env, cluster, "/home/alice/notes.txt")
+    ino = reply.target_ino
+    run_request(env, cluster, OpType.UNLINK, "/home/alice/notes.txt")
+    # another link survives: not an orphan, still resolvable
+    assert not ns.is_orphan(ino)
+    assert ns.resolve(p.parse("/home/bob/alias.txt")).ino == ino
+    ns.verify_invariants()
+
+
+def test_failover_reclaims_victims_orphans(dynamic_cluster):
+    env, ns, cluster = dynamic_cluster
+    from repro.mds import fail_node
+    reply = open_file(env, cluster, "/home/alice/notes.txt")
+    ino = reply.target_ino
+    victim = reply.served_by
+    run_request(env, cluster, OpType.UNLINK, "/home/alice/notes.txt")
+    assert ns.is_orphan(ino)
+    fail_node(cluster, victim)
+    # the crashed node's open handles are gone; its orphans are reclaimed
+    assert ino not in ns
+    assert ino not in cluster.orphan_authorities
+    ns.verify_invariants()

@@ -1,0 +1,146 @@
+"""Tests for balancing policies and heterogeneous clusters (§4.3)."""
+
+import pytest
+
+from repro.mds import (BalancePolicy, LoadBalancer, OpType,
+                       PriorityPathsPolicy, SimParams, WeightedNodesPolicy)
+from repro.namespace import Namespace, build_tree
+from repro.namespace import path as p
+
+from .conftest import make_cluster, run_request
+
+BIG_TREE = {
+    "active": {f"u{i}": {"f.txt": 1, "g.txt": 2} for i in range(4)},
+    "archive": {f"a{i}": {"old.txt": 1} for i in range(4)},
+}
+
+
+def test_default_policy_is_uniform():
+    policy = BalancePolicy()
+    ns = Namespace()
+    assert policy.node_capacity(0) == 1.0
+    assert policy.subtree_weight(ns, 1) == 1.0
+
+
+def test_weighted_nodes_validation():
+    with pytest.raises(ValueError):
+        WeightedNodesPolicy([])
+    with pytest.raises(ValueError):
+        WeightedNodesPolicy([1.0, 0.0])
+    policy = WeightedNodesPolicy([1.0, 2.0])
+    assert policy.node_capacity(1) == 2.0
+    with pytest.raises(IndexError):
+        policy.node_capacity(5)
+
+
+def test_weighted_policy_from_params():
+    params = SimParams(node_speed_factors=(1.0, 2.0, 1.0))
+    policy = WeightedNodesPolicy.from_params(params, 3)
+    assert policy.capacities == (1.0, 2.0, 1.0)
+    uniform = WeightedNodesPolicy.from_params(SimParams(), 2)
+    assert uniform.capacities == (1.0, 1.0)
+
+
+def test_speed_factor_validation():
+    params = SimParams(node_speed_factors=(1.0, -1.0))
+    assert params.speed_of(0) == 1.0
+    with pytest.raises(ValueError):
+        params.speed_of(1)
+    with pytest.raises(IndexError):
+        params.speed_of(7)
+
+
+def test_fast_node_serves_faster():
+    params = SimParams(node_speed_factors=(4.0, 1.0, 1.0))
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=3,
+                                    params=params)
+    # warm both, then compare warm service latencies on each node's data
+    fast_latencies, slow_latencies = [], []
+    for node in ns.iter_subtree(1):
+        if not node.is_file:
+            continue
+        owner = cluster.strategy.authority_of_ino(node.ino)
+        path_text = "/" + "/".join(ns.path_of(node.ino))
+        run_request(env, cluster, OpType.STAT, path_text)  # warm
+        reply = run_request(env, cluster, OpType.STAT, path_text)
+        (fast_latencies if owner == 0 else slow_latencies).append(
+            reply.latency_s)
+    if fast_latencies and slow_latencies:
+        assert (sum(fast_latencies) / len(fast_latencies)
+                < sum(slow_latencies) / len(slow_latencies))
+
+
+def test_capacity_normalized_load_measurement():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=2,
+                                    tree=BIG_TREE)
+    balancer = LoadBalancer(cluster, WeightedNodesPolicy([2.0, 1.0]))
+    # equal raw activity on both nodes:
+    for node_id in (0, 1):
+        for _ in range(10):
+            cluster.nodes[node_id].stats.deltas.add("served")
+    loads = balancer.measure_loads()
+    # node 0 has twice the capacity, so half the normalized load
+    assert loads[0] == pytest.approx(loads[1] / 2)
+
+
+def test_priority_paths_validation():
+    ns = Namespace()
+    build_tree(ns, BIG_TREE)
+    with pytest.raises(ValueError):
+        PriorityPathsPolicy(ns, [p.parse("/missing")])
+    with pytest.raises(ValueError):
+        PriorityPathsPolicy(ns, [p.parse("/active")], boost=0)
+
+
+def test_priority_weights_cover_subtrees():
+    ns = Namespace()
+    build_tree(ns, BIG_TREE)
+    policy = PriorityPathsPolicy(ns, [p.parse("/active")], boost=4.0,
+                                 demoted=[p.parse("/archive")], demote=0.25)
+    active_child = ns.resolve(p.parse("/active/u0")).ino
+    archive_child = ns.resolve(p.parse("/archive/a0")).ino
+    neutral = ns.resolve(p.parse("/active")).ino  # the anchor itself
+    assert policy.subtree_weight(ns, active_child) == 4.0
+    assert policy.subtree_weight(ns, neutral) == 4.0
+    assert policy.subtree_weight(ns, archive_child) == 0.25
+    assert policy.subtree_weight(ns, 1) == 1.0  # the root
+
+
+def test_priority_policy_biases_shedding():
+    def picks_with(policy):
+        env, ns, cluster = make_cluster("DynamicSubtree", n_mds=2,
+                                        tree=BIG_TREE)
+        built = policy(ns) if policy else None
+        balancer = LoadBalancer(cluster, built)
+        strategy = cluster.strategy
+        active = ns.resolve(p.parse("/active/u0")).ino
+        archive = ns.resolve(p.parse("/archive/a0")).ino
+        strategy.delegate(active, 0)
+        strategy.delegate(archive, 0)
+        node = cluster.nodes[0]
+        # identical raw popularity on both subtrees
+        node.popularity.add(active, env.now, 100.0)
+        node.popularity.add(archive, env.now, 100.0)
+        picks = balancer.select_subtrees(0, excess_fraction=0.9)
+        return active, archive, picks
+
+    # prioritizing /active sheds the active subtree first...
+    active, archive, picks = picks_with(
+        lambda ns: PriorityPathsPolicy(ns, [p.parse("/active")], boost=3.0,
+                                       demoted=[p.parse("/archive")],
+                                       demote=0.05))
+    assert active in picks and archive not in picks
+    # ...and the mirrored policy sheds the archive subtree first
+    active, archive, picks = picks_with(
+        lambda ns: PriorityPathsPolicy(ns, [p.parse("/archive")], boost=3.0,
+                                       demoted=[p.parse("/active")],
+                                       demote=0.05))
+    assert archive in picks and active not in picks
+
+
+def test_cluster_auto_derives_weighted_policy():
+    params = SimParams(node_speed_factors=(1.0, 3.0, 1.0))
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=3,
+                                    params=params)
+    assert isinstance(cluster.balancer.policy, WeightedNodesPolicy)
+    assert cluster.balancer.policy.capacities == (1.0, 3.0, 1.0)

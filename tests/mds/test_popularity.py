@@ -1,0 +1,65 @@
+"""Unit tests for decaying popularity counters."""
+
+import pytest
+
+from repro.mds import DecayCounter, PopularityMap
+
+
+def test_counter_accumulates():
+    c = DecayCounter(halflife_s=1.0)
+    assert c.add(0.0) == 1.0
+    assert c.add(0.0) == 2.0
+
+
+def test_counter_halves_per_halflife():
+    c = DecayCounter(halflife_s=2.0)
+    c.add(0.0, 8.0)
+    assert c.read(2.0) == pytest.approx(4.0)
+    assert c.read(4.0) == pytest.approx(2.0)
+    assert c.read(8.0) == pytest.approx(0.5)
+
+
+def test_counter_decay_then_add():
+    c = DecayCounter(halflife_s=1.0)
+    c.add(0.0, 4.0)
+    assert c.add(1.0, 1.0) == pytest.approx(3.0)
+
+
+def test_read_does_not_add():
+    c = DecayCounter(halflife_s=1.0)
+    c.add(0.0, 2.0)
+    c.read(0.5)
+    c.read(0.5)
+    assert c.read(1.0) == pytest.approx(1.0)
+
+
+def test_time_never_goes_backwards():
+    c = DecayCounter(halflife_s=1.0)
+    c.add(5.0, 2.0)
+    # reading at an earlier time must not "un-decay"
+    assert c.read(3.0) == pytest.approx(2.0)
+    assert c.read(6.0) == pytest.approx(1.0)
+
+
+def test_map_validates_halflife():
+    with pytest.raises(ValueError):
+        PopularityMap(0.0)
+
+
+def test_map_tracks_independent_inos():
+    pm = PopularityMap(1.0)
+    pm.add(1, 0.0, 4.0)
+    pm.add(2, 0.0, 1.0)
+    assert pm.read(1, 0.0) == pytest.approx(4.0)
+    assert pm.read(2, 0.0) == pytest.approx(1.0)
+    assert pm.read(3, 0.0) == 0.0
+
+
+def test_map_prune_drops_cold_counters():
+    pm = PopularityMap(0.5)
+    pm.add(1, 0.0, 1.0)
+    pm.add(2, 0.0, 1000.0)
+    removed = pm.prune(now=10.0)
+    assert removed >= 1
+    assert pm.read(2, 10.0) < 1.0 or 2 in pm._counters
+    assert len(pm) <= 1

@@ -1,0 +1,76 @@
+"""Unit tests for per-node statistics."""
+
+import pytest
+
+from repro.mds.stats import (NodeStats, aggregate_forward_fraction,
+                             aggregate_hit_rate)
+
+
+def test_initial_state():
+    stats = NodeStats()
+    assert stats.ops_served == 0
+    assert stats.hit_rate == 0.0
+    assert stats.lookups == 0
+    assert stats.throughput(0.0, 1.0) == 0.0
+
+
+def test_record_served_feeds_time_series():
+    stats = NodeStats(bucket_width_s=0.1)
+    for t in (0.05, 0.15, 0.17):
+        stats.record_served(t)
+    assert stats.ops_served == 3
+    assert stats.throughput(0.0, 0.2) == pytest.approx(15.0)
+    assert stats.throughput(0.1, 0.2) == pytest.approx(20.0)
+
+
+def test_throughput_empty_window():
+    stats = NodeStats()
+    assert stats.throughput(1.0, 1.0) == 0.0
+    assert stats.throughput(2.0, 1.0) == 0.0
+
+
+def test_hit_rate():
+    stats = NodeStats()
+    for _ in range(8):
+        stats.record_hit()
+    for _ in range(2):
+        stats.record_miss()
+    assert stats.lookups == 10
+    assert stats.hit_rate == pytest.approx(0.8)
+
+
+def test_forwards_tracked_separately():
+    stats = NodeStats(bucket_width_s=0.1)
+    stats.record_forward(0.05)
+    stats.record_served(0.05)
+    assert stats.forwards == 1
+    assert stats.forwards_by_time.total == 1
+    assert stats.served_by_time.total == 1
+
+
+def test_deltas_snapshot():
+    stats = NodeStats()
+    stats.record_served(0.0)
+    stats.record_miss()
+    deltas = stats.deltas.snapshot()
+    assert deltas == {"served": 1.0, "misses": 1.0}
+    assert stats.deltas.snapshot() == {"served": 0.0, "misses": 0.0}
+
+
+def test_aggregate_hit_rate():
+    a, b = NodeStats(), NodeStats()
+    for _ in range(3):
+        a.record_hit()
+    a.record_miss()
+    b.record_hit()
+    assert aggregate_hit_rate([a, b]) == pytest.approx(4 / 5)
+    assert aggregate_hit_rate([NodeStats()]) == 0.0
+
+
+def test_aggregate_forward_fraction():
+    a, b = NodeStats(), NodeStats()
+    a.record_served(0.0)
+    a.record_served(0.1)
+    b.record_forward(0.1)
+    assert aggregate_forward_fraction([a, b]) == pytest.approx(1 / 3)
+    assert aggregate_forward_fraction([NodeStats()]) == 0.0

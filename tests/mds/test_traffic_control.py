@@ -1,0 +1,142 @@
+"""Tests for popularity-driven replication / traffic control (§4.4)."""
+
+import dataclasses
+
+import pytest
+
+from repro.mds import ANY_NODE, OpType, SimParams
+from repro.namespace import path as p
+
+from .conftest import make_cluster, run_request
+
+
+def hot_params(**kw):
+    base = dict(replicate_threshold=5.0, unreplicate_threshold=1.0,
+                popularity_halflife_s=10.0)
+    base.update(kw)
+    return SimParams(**base)
+
+
+def test_hot_file_gets_replicated_everywhere():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=3,
+                                    params=hot_params())
+    target = "/usr/pkg0/bin0"
+    for _ in range(8):
+        run_request(env, cluster, OpType.OPEN, target)
+    ino = ns.resolve(p.parse(target)).ino
+    assert ino in cluster.hot_inos
+    for node in cluster.nodes:
+        assert ino in node.cache
+
+
+def test_replica_serves_reads_locally_after_replication():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=3,
+                                    params=hot_params())
+    target = "/usr/pkg0/bin0"
+    for _ in range(8):
+        run_request(env, cluster, OpType.OPEN, target)
+    ino = ns.resolve(p.parse(target)).ino
+    authority = cluster.strategy.authority_of_ino(ino)
+    other = (authority + 1) % 3
+    reply = run_request(env, cluster, OpType.OPEN, target, dest=other)
+    assert reply.ok
+    assert reply.served_by == other
+    assert reply.forwarded == 0
+
+
+def test_hot_item_advertised_as_any_node():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=3,
+                                    params=hot_params())
+    target = "/usr/pkg0/bin0"
+    reply = None
+    for _ in range(8):
+        reply = run_request(env, cluster, OpType.OPEN, target)
+    assert reply.locations[p.parse(target)] == ANY_NODE
+
+
+def test_mutation_on_hot_item_still_goes_to_authority():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=3,
+                                    params=hot_params())
+    target = "/usr/pkg0/bin0"
+    for _ in range(8):
+        run_request(env, cluster, OpType.OPEN, target)
+    ino = ns.resolve(p.parse(target)).ino
+    authority = cluster.strategy.authority_of_ino(ino)
+    other = (authority + 1) % 3
+    reply = run_request(env, cluster, OpType.SETATTR, target, dest=other,
+                        size=5)
+    assert reply.ok
+    assert reply.served_by == authority
+    assert reply.forwarded == 1
+
+
+def test_setattr_uses_distributed_update_keeping_replicas():
+    # monotonic size/mtime updates are distributable (GPFS-style, §4.2):
+    # they do not tear down the replica set
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=3,
+                                    params=hot_params())
+    target = "/usr/pkg0/bin0"
+    for _ in range(8):
+        run_request(env, cluster, OpType.OPEN, target)
+    ino = ns.resolve(p.parse(target)).ino
+    run_request(env, cluster, OpType.SETATTR, target, size=5)
+    assert ino in cluster.hot_inos
+
+
+def test_mutation_sends_invalidation_callbacks():
+    env, ns, cluster = make_cluster("DynamicSubtree", n_mds=3,
+                                    params=hot_params())
+    target = "/usr/pkg0/bin0"
+    for _ in range(8):
+        run_request(env, cluster, OpType.OPEN, target)
+    ino = ns.resolve(p.parse(target)).ino
+    authority = cluster.strategy.authority_of_ino(ino)
+    auth_node = cluster.nodes[authority]
+    assert auth_node.replicas.is_replicated(ino)
+    run_request(env, cluster, OpType.CHMOD, target, mode=0o600)
+    # the authority called back every replica holder before mutating, and a
+    # cooldown embargo prevents immediate replicate/invalidate churn
+    assert auth_node.stats.invalidations_sent >= 2
+    assert ino not in cluster.hot_inos
+    reply = run_request(env, cluster, OpType.OPEN, target)
+    assert ino not in cluster.hot_inos  # still within the cooldown window
+    # once the embargo lapses and popularity persists, replication resumes
+    env.run(until=env.now + 50.0)
+    for _ in range(8):
+        run_request(env, cluster, OpType.OPEN, target)
+    assert ino in cluster.hot_inos
+    # (authority may have moved meanwhile: count pushes cluster-wide)
+    assert sum(n.stats.replications_pushed for n in cluster.nodes) >= 2
+
+
+def test_no_traffic_control_for_static_strategy():
+    env, ns, cluster = make_cluster("StaticSubtree", n_mds=3,
+                                    params=hot_params())
+    assert not cluster.traffic_control_active
+    target = "/usr/pkg0/bin0"
+    for _ in range(10):
+        run_request(env, cluster, OpType.OPEN, target)
+    assert not cluster.hot_inos
+
+
+def test_traffic_control_disable_flag():
+    env, ns, cluster = make_cluster(
+        "DynamicSubtree", n_mds=3,
+        params=hot_params(traffic_control=False))
+    assert not cluster.traffic_control_active
+    for _ in range(10):
+        run_request(env, cluster, OpType.OPEN, "/usr/pkg0/bin0")
+    assert not cluster.hot_inos
+
+
+def test_hot_set_sweeper_cools_idle_items():
+    env, ns, cluster = make_cluster(
+        "DynamicSubtree", n_mds=3,
+        params=hot_params(popularity_halflife_s=0.2))
+    target = "/usr/pkg0/bin0"
+    for _ in range(8):
+        run_request(env, cluster, OpType.OPEN, target)
+    ino = ns.resolve(p.parse(target)).ino
+    assert ino in cluster.hot_inos
+    env.run(until=env.now + 5.0)  # let popularity decay and sweeper run
+    assert ino not in cluster.hot_inos

@@ -1,0 +1,74 @@
+"""Tests for statistical helpers."""
+
+import math
+
+import pytest
+
+from repro.metrics.analysis import (Summary, moving_average, percentile,
+                                    relative_change, summarize, trim_warmup)
+
+
+def test_percentile_basics():
+    values = [1, 2, 3, 4, 5]
+    assert percentile(values, 0) == 1
+    assert percentile(values, 50) == 3
+    assert percentile(values, 100) == 5
+    assert percentile(values, 25) == 2.0
+
+
+def test_percentile_interpolates():
+    assert percentile([0, 10], 50) == 5.0
+    assert percentile([0, 10], 75) == 7.5
+
+
+def test_percentile_single_value():
+    assert percentile([7.5], 99) == 7.5
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1], 101)
+
+
+def test_summarize():
+    s = summarize([1.0, 2.0, 3.0, 4.0])
+    assert s.n == 4
+    assert s.mean == 2.5
+    assert s.minimum == 1.0 and s.maximum == 4.0
+    assert s.p50 == 2.5
+    assert s.std == pytest.approx(math.sqrt(1.25))
+    assert "p99" in s.format()
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_trim_warmup():
+    pts = [(0.5, 1.0), (1.5, 2.0), (2.5, 3.0)]
+    assert trim_warmup(pts, 1.0) == [(1.5, 2.0), (2.5, 3.0)]
+    assert trim_warmup(pts, 0.0) == pts
+
+
+def test_moving_average():
+    pts = [(0, 0.0), (1, 10.0), (2, 20.0), (3, 30.0)]
+    smoothed = moving_average(pts, window=3)
+    assert smoothed[0] == (0, 5.0)
+    assert smoothed[1] == (1, 10.0)
+    assert smoothed[3] == (3, 25.0)
+    assert moving_average(pts, window=1) == pts
+
+
+def test_moving_average_validation():
+    with pytest.raises(ValueError):
+        moving_average([], window=0)
+
+
+def test_relative_change():
+    assert relative_change(100.0, 150.0) == pytest.approx(0.5)
+    assert relative_change(100.0, 50.0) == pytest.approx(-0.5)
+    assert relative_change(0.0, 0.0) == 0.0
+    assert relative_change(0.0, 5.0) == math.inf

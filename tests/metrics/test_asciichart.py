@@ -1,0 +1,74 @@
+"""Tests for the terminal chart renderer."""
+
+import pytest
+
+from repro.metrics.asciichart import render_chart
+
+
+def test_empty_input_rejected():
+    with pytest.raises(ValueError):
+        render_chart({})
+    with pytest.raises(ValueError):
+        render_chart({"a": []})
+
+
+def test_too_small_rejected():
+    with pytest.raises(ValueError):
+        render_chart({"a": [(0, 1)]}, width=4, height=2)
+
+
+def test_basic_render_contains_markers_and_legend():
+    out = render_chart({"up": [(0, 0), (1, 1), (2, 2)],
+                        "down": [(0, 2), (1, 1), (2, 0)]},
+                       title="T", x_label="time")
+    assert "T" in out
+    assert "o up" in out and "x down" in out
+    assert "time" in out
+    assert "o" in out and "x" in out
+
+
+def test_axis_labels_reflect_ranges():
+    out = render_chart({"s": [(0, 0), (10, 100)]})
+    # y max carries 5% headroom above 100; x max is exact
+    lines = [l for l in out.splitlines() if "|" in l]
+    top_label = lines[0].split("|")[0].strip()
+    assert 100 <= float(top_label) <= 110
+    assert "10" in out.splitlines()[-3]  # x-axis extent line
+
+
+def test_flat_series_does_not_crash():
+    out = render_chart({"flat": [(0, 5), (1, 5), (2, 5)]})
+    assert "o flat" in out
+
+
+def test_single_point():
+    out = render_chart({"dot": [(1, 1)]})
+    assert "o" in out
+
+
+def test_nonnegative_data_keeps_zero_floor():
+    out = render_chart({"s": [(0, 0), (1, 50)]})
+    # bottom label must be 0, not a negative padding artifact
+    lines = [l for l in out.splitlines() if "|" in l]
+    bottom_label = lines[-1].split("|")[0].strip()
+    assert bottom_label == "0"
+
+
+def test_interpolation_dots_between_far_points():
+    out = render_chart({"s": [(0, 0), (10, 100)]}, width=40, height=12)
+    assert "." in out
+
+
+def test_grid_dimensions():
+    out = render_chart({"s": [(0, 0), (1, 1)]}, width=30, height=8)
+    plot_lines = [l for l in out.splitlines() if "|" in l]
+    assert len(plot_lines) == 8
+    for line in plot_lines:
+        assert len(line.split("|", 1)[1]) == 30
+
+
+def test_many_series_cycle_markers():
+    series = {f"s{i}": [(0, i), (1, i + 1)] for i in range(10)}
+    out = render_chart(series)
+    for i in range(10):
+        assert f"s{i}" in out

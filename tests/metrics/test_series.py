@@ -1,0 +1,84 @@
+"""Unit tests for metric primitives."""
+
+import pytest
+
+from repro.metrics import (BucketCounter, DeltaTracker, TimeSeries,
+                           format_series, format_table)
+
+
+def test_bucket_width_validation():
+    with pytest.raises(ValueError):
+        BucketCounter(0.0)
+
+
+def test_bucket_counts_and_rates():
+    bc = BucketCounter(1.0)
+    bc.add(0.1)
+    bc.add(0.9)
+    bc.add(1.5)
+    assert bc.total == 3.0
+    assert bc.rate_series() == [(0.5, 2.0), (1.5, 1.0)]
+    assert bc.rate_at(0.3) == 2.0
+    assert bc.rate_at(5.0) == 0.0
+
+
+def test_bucket_count_in_window():
+    bc = BucketCounter(1.0)
+    for t in (0.5, 1.5, 2.5, 3.5):
+        bc.add(t)
+    assert bc.count_in(1.0, 3.0) == 2.0
+    assert bc.count_in(0.0, 10.0) == 4.0
+    assert bc.count_in(5.0, 6.0) == 0.0
+
+
+def test_timeseries_ordering_enforced():
+    ts = TimeSeries()
+    ts.record(1.0, 10.0)
+    with pytest.raises(ValueError):
+        ts.record(0.5, 5.0)
+
+
+def test_timeseries_value_at():
+    ts = TimeSeries()
+    ts.record(1.0, 10.0)
+    ts.record(2.0, 20.0)
+    assert ts.value_at(0.5) == 0.0
+    assert ts.value_at(1.0) == 10.0
+    assert ts.value_at(1.5) == 10.0
+    assert ts.value_at(3.0) == 20.0
+    assert ts.mean() == 15.0
+    assert len(ts) == 2
+
+
+def test_timeseries_empty_mean():
+    assert TimeSeries().mean() == 0.0
+
+
+def test_delta_tracker():
+    dt = DeltaTracker()
+    dt.add("x", 3)
+    dt.add("x")
+    assert dt.value("x") == 4
+    assert dt.delta("x") == 4
+    snap = dt.snapshot()
+    assert snap == {"x": 4}
+    dt.add("x", 2)
+    assert dt.delta("x") == 2
+    assert dt.snapshot() == {"x": 2}
+    assert dt.snapshot() == {"x": 0}
+
+
+def test_format_table_alignment():
+    out = format_table(["name", "value"], [["a", 1.0], ["bb", 123456.0]],
+                       title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert len(lines) == 5
+    # all rows same width
+    assert len(set(len(l) for l in lines[2:])) == 1
+
+
+def test_format_series():
+    out = format_series("s", [(1, 2.0)], x_label="t", y_label="v")
+    assert "s" in out and "t" in out and "v" in out

@@ -1,0 +1,91 @@
+"""Tests for the synthetic snapshot generator."""
+
+import pytest
+
+from repro.namespace import Namespace, SnapshotSpec, generate_snapshot
+from repro.namespace import path as p
+from repro.sim import RngStreams
+
+
+def make(seed=1, **kw):
+    ns = Namespace()
+    spec = SnapshotSpec(**kw)
+    stats = generate_snapshot(ns, spec, RngStreams(seed))
+    return ns, spec, stats
+
+
+def test_generates_requested_users():
+    ns, spec, stats = make(n_users=5, files_per_user=40)
+    assert len(stats.user_roots) == 5
+    for root in stats.user_roots:
+        assert ns.try_resolve(root) is not None
+
+
+def test_stats_match_namespace():
+    ns, _, stats = make(n_users=4, files_per_user=50)
+    assert stats.n_files == ns.count_files()
+    # generator stats exclude the pre-existing root directory
+    assert stats.n_dirs == ns.count_dirs() - 1
+    assert stats.n_inodes == len(ns) - 1
+
+
+def test_file_count_near_mean():
+    ns, spec, stats = make(n_users=20, files_per_user=100, seed=3)
+    target = spec.n_users * spec.files_per_user
+    assert 0.5 * target < stats.n_files < 2.0 * target
+
+
+def test_deterministic_given_seed():
+    ns1, _, s1 = make(seed=7, n_users=6, files_per_user=30)
+    ns2, _, s2 = make(seed=7, n_users=6, files_per_user=30)
+    assert s1.n_files == s2.n_files
+    assert s1.n_dirs == s2.n_dirs
+    paths1 = sorted(ns1.path_of(i.ino) for i in ns1.iter_subtree(1))
+    paths2 = sorted(ns2.path_of(i.ino) for i in ns2.iter_subtree(1))
+    assert paths1 == paths2
+
+
+def test_different_seeds_differ():
+    _, _, s1 = make(seed=1, n_users=6, files_per_user=30)
+    _, _, s2 = make(seed=2, n_users=6, files_per_user=30)
+    assert s1.n_files != s2.n_files
+
+
+def test_depth_bounded():
+    _, spec, stats = make(n_users=10, files_per_user=300, max_depth=4)
+    # /home/uNNNN + max_depth levels below the user root
+    assert stats.max_depth_seen <= 2 + spec.max_depth
+
+
+def test_user_ownership():
+    ns, _, stats = make(n_users=3, files_per_user=20)
+    for u, root in enumerate(stats.user_roots):
+        root_inode = ns.resolve(root)
+        assert root_inode.owner == u
+        for node in ns.iter_subtree(root_inode.ino):
+            assert node.owner == u
+
+
+def test_shared_tree_present():
+    ns, spec, _ = make(n_users=2, files_per_user=10,
+                       shared_tree_files=50, shared_tree_dirs=5)
+    usr = ns.try_resolve(p.parse("/usr"))
+    assert usr is not None
+    assert usr.entry_count == 5
+
+
+def test_shared_tree_optional():
+    ns, _, _ = make(n_users=2, files_per_user=10, shared_tree_files=0)
+    assert ns.try_resolve(p.parse("/usr")) is None
+
+
+def test_requires_fresh_namespace():
+    ns = Namespace()
+    ns.mkdir(p.parse("/dirty"))
+    with pytest.raises(ValueError):
+        generate_snapshot(ns, SnapshotSpec(), RngStreams(0))
+
+
+def test_invariants_hold():
+    ns, _, _ = make(n_users=8, files_per_user=60)
+    ns.verify_invariants()

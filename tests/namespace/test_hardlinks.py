@@ -1,0 +1,138 @@
+"""Hard links and the anchor table (§4.5)."""
+
+import pytest
+
+from repro.namespace import (InvalidOperation, Namespace, build_tree)
+from repro.namespace import path as p
+
+
+@pytest.fixture
+def ns():
+    namespace = Namespace()
+    build_tree(namespace, {
+        "a": {"deep": {"file.txt": 10}},
+        "b": {},
+        "c": {"other.txt": 5},
+    })
+    return namespace
+
+
+def test_link_increments_nlink(ns):
+    ns.link(p.parse("/a/deep/file.txt"), p.parse("/b/alias.txt"))
+    inode = ns.resolve(p.parse("/b/alias.txt"))
+    assert inode.nlink == 2
+    assert inode is ns.resolve(p.parse("/a/deep/file.txt"))
+    ns.verify_invariants()
+
+
+def test_link_to_directory_rejected(ns):
+    with pytest.raises(InvalidOperation):
+        ns.link(p.parse("/a/deep"), p.parse("/b/deep2"))
+
+
+def test_anchor_table_tracks_multiply_linked_only(ns):
+    assert len(ns.anchors) == 0
+    ns.link(p.parse("/a/deep/file.txt"), p.parse("/b/alias.txt"))
+    ino = ns.resolve(p.parse("/b/alias.txt")).ino
+    # table holds: file, /a/deep, /a  (chain to root, root excluded)
+    assert ino in ns.anchors
+    assert ns.resolve(p.parse("/a/deep")).ino in ns.anchors
+    assert ns.resolve(p.parse("/a")).ino in ns.anchors
+    assert ns.resolve(p.parse("/b")).ino not in ns.anchors
+    assert len(ns.anchors) == 3
+
+
+def test_anchor_locate_walks_to_root(ns):
+    ns.link(p.parse("/a/deep/file.txt"), p.parse("/b/alias.txt"))
+    ino = ns.resolve(p.parse("/a/deep/file.txt")).ino
+    chain = ns.anchors.locate(ino)
+    expected = [ns.resolve(p.parse("/a/deep")).ino,
+                ns.resolve(p.parse("/a")).ino,
+                1]  # root ino
+    assert chain == expected
+
+
+def test_unlink_extra_link_clears_anchor(ns):
+    ns.link(p.parse("/a/deep/file.txt"), p.parse("/b/alias.txt"))
+    ns.unlink(p.parse("/b/alias.txt"))
+    inode = ns.resolve(p.parse("/a/deep/file.txt"))
+    assert inode.nlink == 1
+    assert len(ns.anchors) == 0
+    ns.verify_invariants()
+
+
+def test_unlink_primary_promotes_extra_link(ns):
+    ns.link(p.parse("/a/deep/file.txt"), p.parse("/b/alias.txt"))
+    ino = ns.resolve(p.parse("/a/deep/file.txt")).ino
+    ns.unlink(p.parse("/a/deep/file.txt"))
+    # still reachable at the alias; now singly linked and embedded under /b
+    inode = ns.resolve(p.parse("/b/alias.txt"))
+    assert inode.ino == ino
+    assert inode.nlink == 1
+    assert ns.path_of(ino) == p.parse("/b/alias.txt")
+    assert len(ns.anchors) == 0
+    ns.verify_invariants()
+
+
+def test_three_links_then_unlink_primary(ns):
+    ns.link(p.parse("/a/deep/file.txt"), p.parse("/b/alias.txt"))
+    ns.link(p.parse("/a/deep/file.txt"), p.parse("/c/alias2.txt"))
+    inode = ns.resolve(p.parse("/a/deep/file.txt"))
+    assert inode.nlink == 3
+    ns.unlink(p.parse("/a/deep/file.txt"))
+    assert inode.nlink == 2
+    # still anchored (nlink > 1) via its new embedding chain
+    assert inode.ino in ns.anchors
+    ns.verify_invariants()
+
+
+def test_rename_anchored_file_updates_chain(ns):
+    ns.link(p.parse("/a/deep/file.txt"), p.parse("/b/alias.txt"))
+    ns.rename(p.parse("/a/deep/file.txt"), p.parse("/c/file.txt"))
+    ino = ns.resolve(p.parse("/c/file.txt")).ino
+    chain = ns.anchors.locate(ino)
+    assert chain[0] == ns.resolve(p.parse("/c")).ino
+    # old chain dirs released
+    assert ns.resolve(p.parse("/a/deep")).ino not in ns.anchors
+    assert ns.resolve(p.parse("/a")).ino not in ns.anchors
+    ns.verify_invariants()
+
+
+def test_rename_nonprimary_link_keeps_anchor(ns):
+    ns.link(p.parse("/a/deep/file.txt"), p.parse("/b/alias.txt"))
+    ns.rename(p.parse("/b/alias.txt"), p.parse("/c/alias.txt"))
+    ino = ns.resolve(p.parse("/c/alias.txt")).ino
+    # embedding unchanged: chain still goes through /a/deep
+    assert ns.anchors.locate(ino)[0] == ns.resolve(p.parse("/a/deep")).ino
+    ns.verify_invariants()
+
+
+def test_rename_ancestor_dir_of_anchored_file(ns):
+    ns.link(p.parse("/a/deep/file.txt"), p.parse("/b/alias.txt"))
+    ns.rename(p.parse("/a/deep"), p.parse("/c/deep"))
+    ino = ns.resolve(p.parse("/c/deep/file.txt")).ino
+    chain = ns.anchors.locate(ino)
+    assert chain[0] == ns.resolve(p.parse("/c/deep")).ino
+    assert chain[1] == ns.resolve(p.parse("/c")).ino
+    assert ns.resolve(p.parse("/a")).ino not in ns.anchors
+    ns.verify_invariants()
+
+
+def test_two_anchored_files_share_ancestor_refcount(ns):
+    ns.create_file(p.parse("/a/deep/second.txt"))
+    ns.link(p.parse("/a/deep/file.txt"), p.parse("/b/l1.txt"))
+    ns.link(p.parse("/a/deep/second.txt"), p.parse("/b/l2.txt"))
+    deep_ino = ns.resolve(p.parse("/a/deep")).ino
+    assert ns.anchors.entry(deep_ino).refcount == 2
+    ns.unlink(p.parse("/b/l1.txt"))
+    assert ns.anchors.entry(deep_ino).refcount == 1
+    ns.verify_invariants()
+
+
+def test_link_same_dir_two_names(ns):
+    ns.link(p.parse("/a/deep/file.txt"), p.parse("/a/deep/same.txt"))
+    inode = ns.resolve(p.parse("/a/deep/same.txt"))
+    assert inode.nlink == 2
+    ns.unlink(p.parse("/a/deep/same.txt"))
+    assert inode.nlink == 1
+    ns.verify_invariants()

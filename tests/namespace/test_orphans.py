@@ -1,0 +1,85 @@
+"""Unit tests for unlinked-while-open orphan retention (§4.5)."""
+
+import pytest
+
+from repro.namespace import Namespace, build_tree
+from repro.namespace import path as p
+
+
+@pytest.fixture
+def ns():
+    namespace = Namespace()
+    build_tree(namespace, {"d": {"f.txt": 10, "g.txt": 20}, "e": {}})
+    return namespace
+
+
+def test_unlink_retain_keeps_inode(ns):
+    ino = ns.resolve(p.parse("/d/f.txt")).ino
+    ns.unlink(p.parse("/d/f.txt"), retain_inode=True)
+    assert ns.try_resolve(p.parse("/d/f.txt")) is None
+    assert ino in ns
+    assert ns.is_orphan(ino)
+    assert ns.inode(ino).nlink == 0
+    assert ns.orphan_count() == 1
+    ns.verify_invariants()
+
+
+def test_release_orphan_removes_inode(ns):
+    ino = ns.resolve(p.parse("/d/f.txt")).ino
+    ns.unlink(p.parse("/d/f.txt"), retain_inode=True)
+    ns.release_orphan(ino)
+    assert ino not in ns
+    assert ns.orphan_count() == 0
+    ns.verify_invariants()
+
+
+def test_release_non_orphan_raises(ns):
+    ino = ns.resolve(p.parse("/d/g.txt")).ino
+    with pytest.raises(KeyError):
+        ns.release_orphan(ino)
+
+
+def test_unlink_without_retain_is_immediate(ns):
+    ino = ns.resolve(p.parse("/d/f.txt")).ino
+    ns.unlink(p.parse("/d/f.txt"))
+    assert ino not in ns
+    assert not ns.is_orphan(ino)
+
+
+def test_retain_ignored_for_multiply_linked(ns):
+    ns.link(p.parse("/d/f.txt"), p.parse("/e/alias.txt"))
+    ino = ns.resolve(p.parse("/d/f.txt")).ino
+    ns.unlink(p.parse("/d/f.txt"), retain_inode=True)
+    # another link survives: no orphan is created
+    assert not ns.is_orphan(ino)
+    assert ns.resolve(p.parse("/e/alias.txt")).ino == ino
+    assert ns.inode(ino).nlink == 1
+    ns.verify_invariants()
+
+
+def test_retain_ignored_for_directories(ns):
+    ino = ns.resolve(p.parse("/e")).ino
+    ns.unlink(p.parse("/e"), retain_inode=True)
+    # empty-directory removal is unconditional
+    assert ino not in ns
+    assert not ns.is_orphan(ino)
+
+
+def test_orphan_still_reachable_by_ino(ns):
+    ino = ns.resolve(p.parse("/d/f.txt")).ino
+    ns.unlink(p.parse("/d/f.txt"), retain_inode=True)
+    inode = ns.inode(ino)
+    assert inode.size == 10
+    # ancestry still walkable (the parent directory is alive)
+    chain = ns.ancestors(ino)
+    assert chain[-1].ino == ns.resolve(p.parse("/d")).ino
+
+
+def test_name_reusable_while_orphan_lives(ns):
+    old = ns.resolve(p.parse("/d/f.txt")).ino
+    ns.unlink(p.parse("/d/f.txt"), retain_inode=True)
+    new = ns.create_file(p.parse("/d/f.txt"), size=99).ino
+    assert new != old
+    assert ns.is_orphan(old)
+    assert ns.resolve(p.parse("/d/f.txt")).size == 99
+    ns.verify_invariants()

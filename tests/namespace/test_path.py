@@ -1,0 +1,73 @@
+"""Unit tests for path utilities."""
+
+import pytest
+
+from repro.namespace import path as p
+
+
+def test_parse_simple():
+    assert p.parse("/usr/local") == ("usr", "local")
+
+
+def test_parse_root():
+    assert p.parse("/") == ()
+
+
+def test_parse_redundant_slashes():
+    assert p.parse("//usr///local/") == ("usr", "local")
+
+
+def test_parse_rejects_relative():
+    with pytest.raises(ValueError):
+        p.parse("usr/local")
+
+
+def test_parse_rejects_dots():
+    with pytest.raises(ValueError):
+        p.parse("/usr/../etc")
+    with pytest.raises(ValueError):
+        p.parse("/usr/./etc")
+
+
+def test_format_roundtrip():
+    for text in ("/", "/a", "/a/b/c"):
+        assert p.format_path(p.parse(text)) == text
+
+
+def test_parent_and_basename():
+    assert p.parent(("a", "b")) == ("a",)
+    assert p.parent(()) == ()
+    assert p.basename(("a", "b")) == "b"
+    assert p.basename(()) == ""
+
+
+def test_is_ancestor():
+    assert p.is_ancestor((), ("a",))
+    assert p.is_ancestor(("a",), ("a", "b"))
+    assert not p.is_ancestor(("a",), ("a",))
+    assert not p.is_ancestor(("a", "b"), ("a",))
+    assert not p.is_ancestor(("x",), ("a", "b"))
+
+
+def test_is_prefix_includes_self():
+    assert p.is_prefix(("a",), ("a",))
+    assert p.is_prefix((), ())
+    assert not p.is_prefix(("a", "b"), ("a", "c"))
+
+
+def test_prefixes_root_first():
+    assert list(p.prefixes(("a", "b", "c"))) == [(), ("a",), ("a", "b")]
+    assert list(p.prefixes(())) == []
+
+
+def test_join_validates_component():
+    assert p.join(("a",), "b") == ("a", "b")
+    with pytest.raises(ValueError):
+        p.join(("a",), "")
+    with pytest.raises(ValueError):
+        p.join(("a",), "b/c")
+
+
+def test_depth():
+    assert p.depth(()) == 0
+    assert p.depth(("a", "b")) == 2

@@ -1,0 +1,55 @@
+"""Unit tests for the permission model and Lazy Hybrid dual-entry ACLs."""
+
+from repro.namespace.permissions import (DEFAULT_DIR_MODE, DEFAULT_FILE_MODE,
+                                         Access, access_for, can_traverse,
+                                         merge_path_acl)
+
+
+def test_owner_gets_owner_bits():
+    acc = access_for(0o700, uid=5, owner=5)
+    assert acc == Access(True, True, True)
+
+
+def test_other_gets_other_bits():
+    acc = access_for(0o704, uid=9, owner=5)
+    assert acc == Access(True, False, False)
+
+
+def test_default_modes():
+    assert access_for(DEFAULT_FILE_MODE, 1, 1) == Access(True, True, False)
+    assert access_for(DEFAULT_FILE_MODE, 2, 1) == Access(True, False, False)
+    assert can_traverse(DEFAULT_DIR_MODE, 2, 1)
+
+
+def test_access_and_operator():
+    a = Access(True, True, False)
+    b = Access(True, False, False)
+    assert (a & b) == Access(True, False, False)
+
+
+def test_merge_path_acl_open_path():
+    # all ancestors world-traversable
+    acl = merge_path_acl([(0o755, 0), (0o755, 0)], 0o644, file_owner=7)
+    assert acl.access(7).read and acl.access(7).write
+    assert acl.access(3).read and not acl.access(3).write
+
+
+def test_merge_path_acl_blocked_for_others():
+    # one ancestor is owner-only (0o700, owned by uid 7)
+    acl = merge_path_acl([(0o755, 0), (0o700, 7)], 0o644, file_owner=7)
+    assert acl.access(7).read
+    other = acl.access(3)
+    assert not other.read and not other.write and not other.execute
+
+
+def test_merge_path_acl_blocked_even_for_owner():
+    # ancestor owned by someone else with no other-execute
+    acl = merge_path_acl([(0o750, 99)], 0o644, file_owner=7)
+    assert not acl.access(7).read
+    assert not acl.access(3).read
+
+
+def test_merge_path_acl_empty_ancestry():
+    acl = merge_path_acl([], 0o600, file_owner=4)
+    assert acl.access(4).read and acl.access(4).write
+    assert not acl.access(5).read

@@ -1,0 +1,134 @@
+"""Property-based (hypothesis) tests for namespace invariants.
+
+A stateful machine applies random sequences of create/link/unlink/rename
+operations and checks after every step that the namespace's structural
+invariants hold: dentry/nlink agreement, primary-parent consistency, and
+exact anchor-table contents (see ``Namespace.verify_invariants``).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import (RuleBasedStateMachine, initialize,
+                                 invariant, rule)
+
+from repro.namespace import (AlreadyExists, FsError, InvalidOperation,
+                             Namespace)
+from repro.namespace import path as p
+
+NAMES = ["a", "b", "c", "d"]
+
+
+class NamespaceMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.ns = Namespace()
+        self.dirs = [()]  # known directory paths
+        self.files = []   # known file paths
+
+    # -- helpers ----------------------------------------------------------
+    def _fresh_name(self, parent, rng_name):
+        inode = self.ns.try_resolve(parent)
+        if inode is None or not inode.is_dir:
+            return None
+        if rng_name in inode.children:
+            return None
+        return p.join(parent, rng_name)
+
+    def _refresh_paths(self) -> None:
+        """Recompute known paths from ground truth (renames move subtrees)."""
+        self.dirs = []
+        self.files = []
+        for node in self.ns.iter_subtree(1):
+            path = self.ns.path_of(node.ino)
+            if node.is_dir:
+                self.dirs.append(path)
+            else:
+                self.files.append(path)
+        # multiply-linked files are reachable at several paths; path_of only
+        # reports the primary.  That is fine for choosing operation targets.
+
+    # -- rules --------------------------------------------------------------
+    @rule(parent_idx=st.integers(0, 200), name=st.sampled_from(NAMES))
+    def mkdir(self, parent_idx, name):
+        parent = self.dirs[parent_idx % len(self.dirs)]
+        target = self._fresh_name(parent, name)
+        if target is None:
+            return
+        self.ns.mkdir(target)
+        self.dirs.append(target)
+
+    @rule(parent_idx=st.integers(0, 200), name=st.sampled_from(NAMES),
+          size=st.integers(0, 10_000))
+    def create_file(self, parent_idx, name, size):
+        parent = self.dirs[parent_idx % len(self.dirs)]
+        target = self._fresh_name(parent, name + ".f")
+        if target is None:
+            return
+        self.ns.create_file(target, size=size)
+        self.files.append(target)
+
+    @rule(file_idx=st.integers(0, 200), dir_idx=st.integers(0, 200),
+          name=st.sampled_from(NAMES))
+    def hard_link(self, file_idx, dir_idx, name):
+        if not self.files:
+            return
+        source = self.files[file_idx % len(self.files)]
+        parent = self.dirs[dir_idx % len(self.dirs)]
+        target = self._fresh_name(parent, name + ".l")
+        if target is None or self.ns.try_resolve(source) is None:
+            return
+        self.ns.link(source, target)
+        self.files.append(target)
+
+    @rule(file_idx=st.integers(0, 200))
+    def unlink_file(self, file_idx):
+        if not self.files:
+            return
+        target = self.files[file_idx % len(self.files)]
+        node = self.ns.try_resolve(target)
+        if node is None or node.is_dir:
+            self._refresh_paths()
+            return
+        self.ns.unlink(target)
+        self._refresh_paths()
+
+    @rule(dir_idx=st.integers(0, 200))
+    def rmdir_if_empty(self, dir_idx):
+        if len(self.dirs) <= 1:
+            return
+        target = self.dirs[dir_idx % len(self.dirs)]
+        if not target:
+            return
+        node = self.ns.try_resolve(target)
+        if node is None or not node.is_dir or node.entry_count:
+            return
+        self.ns.unlink(target)
+        self._refresh_paths()
+
+    @rule(src_idx=st.integers(0, 200), dst_dir_idx=st.integers(0, 200),
+          name=st.sampled_from(NAMES))
+    def rename_any(self, src_idx, dst_dir_idx, name):
+        everything = self.dirs[1:] + self.files
+        if not everything:
+            return
+        src = everything[src_idx % len(everything)]
+        dst_parent = self.dirs[dst_dir_idx % len(self.dirs)]
+        dst = self._fresh_name(dst_parent, name + ".r")
+        if dst is None or self.ns.try_resolve(src) is None:
+            return
+        try:
+            self.ns.rename(src, dst)
+        except (InvalidOperation, AlreadyExists, FsError):
+            return  # e.g. renaming a directory into its own subtree
+        self._refresh_paths()
+
+    # -- invariant ----------------------------------------------------------
+    @invariant()
+    def namespace_consistent(self):
+        if hasattr(self, "ns"):
+            self.ns.verify_invariants()
+
+
+NamespaceMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None)
+TestNamespaceProperties = NamespaceMachine.TestCase

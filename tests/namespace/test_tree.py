@@ -1,0 +1,201 @@
+"""Unit tests for the Namespace tree: create/unlink/rename/link/chmod."""
+
+import pytest
+
+from repro.namespace import (AlreadyExists, FileNotFound, InvalidOperation,
+                             IsADirectory, Namespace, NotADirectory, NotEmpty,
+                             ROOT_INO, build_tree)
+from repro.namespace import path as p
+
+
+@pytest.fixture
+def ns():
+    namespace = Namespace()
+    build_tree(namespace, {
+        "home": {
+            "alice": {"notes.txt": 100, "src": {"main.c": 50, "util.c": 30}},
+            "bob": {"todo.txt": 10},
+        },
+        "usr": {"bin": {"ls": 900}},
+    })
+    return namespace
+
+
+def test_root_exists():
+    ns = Namespace()
+    assert ns.resolve(()).ino == ROOT_INO
+    assert len(ns) == 1
+
+
+def test_resolve_nested(ns):
+    inode = ns.resolve(p.parse("/home/alice/src/main.c"))
+    assert inode.is_file
+    assert inode.size == 50
+
+
+def test_resolve_missing_raises(ns):
+    with pytest.raises(FileNotFound):
+        ns.resolve(p.parse("/home/carol"))
+
+
+def test_resolve_through_file_raises(ns):
+    with pytest.raises(NotADirectory):
+        ns.resolve(p.parse("/home/alice/notes.txt/deep"))
+
+
+def test_try_resolve_returns_none(ns):
+    assert ns.try_resolve(p.parse("/nope")) is None
+    assert ns.try_resolve(p.parse("/home")) is not None
+
+
+def test_path_of_roundtrip(ns):
+    target = p.parse("/home/alice/src/util.c")
+    ino = ns.resolve(target).ino
+    assert ns.path_of(ino) == target
+
+
+def test_ancestors_root_first(ns):
+    ino = ns.resolve(p.parse("/home/alice/src/main.c")).ino
+    chain = [a.ino for a in ns.ancestors(ino)]
+    expected = [ns.resolve(p.parse(t)).ino
+                for t in ("/", "/home", "/home/alice", "/home/alice/src")]
+    assert chain == expected
+
+
+def test_is_ancestor_ino(ns):
+    home = ns.resolve(p.parse("/home")).ino
+    leaf = ns.resolve(p.parse("/home/alice/notes.txt")).ino
+    assert ns.is_ancestor_ino(home, leaf)
+    assert not ns.is_ancestor_ino(leaf, home)
+    assert not ns.is_ancestor_ino(leaf, leaf)
+
+
+def test_readdir_order_and_content(ns):
+    assert ns.readdir(p.parse("/home/alice")) == ["notes.txt", "src"]
+
+
+def test_readdir_on_file_raises(ns):
+    with pytest.raises(NotADirectory):
+        ns.readdir(p.parse("/home/bob/todo.txt"))
+
+
+def test_create_duplicate_raises(ns):
+    with pytest.raises(AlreadyExists):
+        ns.create_file(p.parse("/home/bob/todo.txt"))
+
+
+def test_create_in_missing_parent_raises(ns):
+    with pytest.raises(FileNotFound):
+        ns.create_file(p.parse("/home/carol/x.txt"))
+
+
+def test_create_root_rejected(ns):
+    with pytest.raises(InvalidOperation):
+        ns.mkdir(())
+
+
+def test_unlink_file(ns):
+    target = p.parse("/home/bob/todo.txt")
+    ino = ns.resolve(target).ino
+    ns.unlink(target)
+    assert ns.try_resolve(target) is None
+    assert ino not in ns
+    ns.verify_invariants()
+
+
+def test_unlink_missing_raises(ns):
+    with pytest.raises(FileNotFound):
+        ns.unlink(p.parse("/home/bob/nothere"))
+
+
+def test_unlink_nonempty_dir_raises(ns):
+    with pytest.raises(NotEmpty):
+        ns.unlink(p.parse("/home/alice"))
+
+
+def test_unlink_empty_dir(ns):
+    ns.mkdir(p.parse("/home/bob/empty"))
+    ns.unlink(p.parse("/home/bob/empty"))
+    assert ns.try_resolve(p.parse("/home/bob/empty")) is None
+    ns.verify_invariants()
+
+
+def test_unlink_root_rejected(ns):
+    with pytest.raises(InvalidOperation):
+        ns.unlink(())
+
+
+def test_rename_file_same_dir(ns):
+    ns.rename(p.parse("/home/bob/todo.txt"), p.parse("/home/bob/done.txt"))
+    assert ns.try_resolve(p.parse("/home/bob/todo.txt")) is None
+    assert ns.resolve(p.parse("/home/bob/done.txt")).size == 10
+    ns.verify_invariants()
+
+
+def test_rename_file_across_dirs(ns):
+    ns.rename(p.parse("/home/bob/todo.txt"), p.parse("/home/alice/todo.txt"))
+    inode = ns.resolve(p.parse("/home/alice/todo.txt"))
+    assert ns.path_of(inode.ino) == p.parse("/home/alice/todo.txt")
+    ns.verify_invariants()
+
+
+def test_rename_directory_moves_subtree(ns):
+    ns.rename(p.parse("/home/alice/src"), p.parse("/usr/src"))
+    moved = ns.resolve(p.parse("/usr/src/main.c"))
+    assert moved.size == 50
+    assert ns.try_resolve(p.parse("/home/alice/src")) is None
+    ns.verify_invariants()
+
+
+def test_rename_into_own_subtree_rejected(ns):
+    with pytest.raises(InvalidOperation):
+        ns.rename(p.parse("/home"), p.parse("/home/alice/home"))
+
+
+def test_rename_onto_existing_rejected(ns):
+    with pytest.raises(AlreadyExists):
+        ns.rename(p.parse("/home/bob/todo.txt"),
+                  p.parse("/home/alice/notes.txt"))
+
+
+def test_rename_root_rejected(ns):
+    with pytest.raises(InvalidOperation):
+        ns.rename((), p.parse("/elsewhere"))
+
+
+def test_chmod(ns):
+    ns.chmod(p.parse("/home/bob/todo.txt"), 0o600)
+    assert ns.resolve(p.parse("/home/bob/todo.txt")).mode == 0o600
+
+
+def test_setattr_size(ns):
+    ns.setattr(p.parse("/home/bob/todo.txt"), size=77)
+    assert ns.resolve(p.parse("/home/bob/todo.txt")).size == 77
+
+
+def test_setattr_size_on_dir_raises(ns):
+    with pytest.raises(IsADirectory):
+        ns.setattr(p.parse("/home/bob"), size=1)
+
+
+def test_mtime_propagates_to_parent(ns):
+    ns.create_file(p.parse("/home/bob/new.txt"), mtime=42.0)
+    assert ns.resolve(p.parse("/home/bob")).mtime == 42.0
+
+
+def test_iter_subtree_counts(ns):
+    alice = ns.resolve(p.parse("/home/alice")).ino
+    names = {n.ino for n in ns.iter_subtree(alice)}
+    assert len(names) == 5  # alice, notes.txt, src, main.c, util.c
+    assert ns.subtree_inode_count(alice) == 5
+
+
+def test_counts(ns):
+    # dirs: /, home, alice, src, bob, usr, bin = 7
+    assert ns.count_dirs() == 7
+    assert ns.count_files() == 5
+    assert len(ns) == 12
+
+
+def test_invariants_on_fixture(ns):
+    ns.verify_invariants()

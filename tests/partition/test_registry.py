@@ -1,0 +1,52 @@
+"""Registry and cross-strategy property tests."""
+
+import pytest
+
+from repro.namespace import Namespace, SnapshotSpec, generate_snapshot
+from repro.partition import make_strategy, strategy_names
+from repro.sim import RngStreams
+
+
+def test_strategy_names_cover_the_paper():
+    assert strategy_names() == ["StaticSubtree", "DynamicSubtree", "DirHash",
+                                "LazyHybrid", "FileHash"]
+
+
+def test_make_strategy_all_names():
+    for name in strategy_names():
+        strat = make_strategy(name, 4)
+        assert strat.name == name
+        assert strat.n_mds == 4
+
+
+def test_make_strategy_unknown():
+    with pytest.raises(ValueError, match="unknown strategy"):
+        make_strategy("Nope", 4)
+
+
+@pytest.mark.parametrize("name", ["StaticSubtree", "DynamicSubtree",
+                                  "DirHash", "LazyHybrid", "FileHash"])
+def test_every_inode_has_an_authority_in_range(name):
+    ns = Namespace()
+    generate_snapshot(ns, SnapshotSpec(n_users=4, files_per_user=30),
+                      RngStreams(11))
+    strat = make_strategy(name, 5)
+    strat.bind(ns)
+    for node in ns.iter_subtree(1):
+        mds = strat.authority_of_ino(node.ino)
+        assert 0 <= mds < 5
+
+
+@pytest.mark.parametrize("name", ["DirHash", "LazyHybrid", "FileHash"])
+def test_hash_strategies_spread_load(name):
+    ns = Namespace()
+    generate_snapshot(ns, SnapshotSpec(n_users=6, files_per_user=50),
+                      RngStreams(13))
+    strat = make_strategy(name, 4)
+    strat.bind(ns)
+    counts = [0] * 4
+    for node in ns.iter_subtree(1):
+        counts[strat.authority_of_ino(node.ino)] += 1
+    total = sum(counts)
+    for c in counts:
+        assert c > 0.1 * total / 4  # nothing starved

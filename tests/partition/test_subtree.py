@@ -1,0 +1,181 @@
+"""Unit tests for static/dynamic subtree partitioning."""
+
+import pytest
+
+from repro.namespace import Namespace, build_tree
+from repro.namespace import path as p
+from repro.partition import (DynamicSubtreePartition, StaticSubtreePartition)
+
+
+def make_ns():
+    ns = Namespace()
+    build_tree(ns, {
+        "home": {
+            "alice": {"src": {"main.c": 10}, "notes.txt": 5},
+            "bob": {"doc": {"t.tex": 3}},
+        },
+        "usr": {"pkg0": {"bin0": 7}},
+    })
+    return ns
+
+
+def bind(strategy_cls, n_mds=4, **kw):
+    ns = make_ns()
+    strat = strategy_cls(n_mds, **kw)
+    strat.bind(ns)
+    return ns, strat
+
+
+def test_requires_at_least_one_mds():
+    with pytest.raises(ValueError):
+        StaticSubtreePartition(0)
+
+
+def test_initial_partition_delegates_near_root():
+    ns, strat = bind(StaticSubtreePartition, n_mds=4)
+    # root + depth 1-2 directories: /home /usr /home/alice /home/bob /usr/pkg0
+    delegated = set(strat.delegations)
+    expected = {1} | {ns.resolve(p.parse(t)).ino for t in
+                      ("/home", "/usr", "/home/alice", "/home/bob",
+                       "/usr/pkg0")}
+    assert delegated == expected
+
+
+def test_everything_under_a_subtree_shares_authority():
+    ns, strat = bind(StaticSubtreePartition)
+    alice = ns.resolve(p.parse("/home/alice")).ino
+    owner = strat.authority_of_ino(alice)
+    for node in ns.iter_subtree(alice):
+        assert strat.authority_of_ino(node.ino) == owner
+
+
+def test_authority_is_deterministic():
+    _, s1 = bind(StaticSubtreePartition)
+    _, s2 = bind(StaticSubtreePartition)
+    for ino in (1, 2, 3, 5, 8):
+        assert s1.authority_of_ino(ino) == s2.authority_of_ino(ino)
+
+
+def test_authorities_in_range():
+    ns, strat = bind(StaticSubtreePartition, n_mds=3)
+    for node in ns.iter_subtree(1):
+        assert 0 <= strat.authority_of_ino(node.ino) < 3
+
+
+def test_clients_cannot_compute_subtree_authority():
+    _, strat = bind(StaticSubtreePartition)
+    assert strat.client_locate(p.parse("/home/alice/notes.txt")) is None
+
+
+def test_delegation_root_of():
+    ns, strat = bind(StaticSubtreePartition)
+    main_c = ns.resolve(p.parse("/home/alice/src/main.c")).ino
+    alice = ns.resolve(p.parse("/home/alice")).ino
+    assert strat.delegation_root_of(main_c) == alice
+
+
+def test_subtrees_of_lists_owned_roots():
+    ns, strat = bind(StaticSubtreePartition, n_mds=2)
+    all_roots = set()
+    for mds in range(2):
+        roots = strat.subtrees_of(mds)
+        for r in roots:
+            assert strat.delegations[r] == mds
+        all_roots.update(roots)
+    assert all_roots == set(strat.delegations)
+
+
+def test_dynamic_delegate_changes_authority():
+    ns, strat = bind(DynamicSubtreePartition, n_mds=4)
+    src = ns.resolve(p.parse("/home/alice/src")).ino
+    old = strat.authority_of_ino(src)
+    new = (old + 1) % 4
+    strat.delegate(src, new)
+    assert strat.authority_of_ino(src) == new
+    main_c = ns.resolve(p.parse("/home/alice/src/main.c")).ino
+    assert strat.authority_of_ino(main_c) == new
+    # siblings outside the subtree keep the old authority
+    notes = ns.resolve(p.parse("/home/alice/notes.txt")).ino
+    assert strat.authority_of_ino(notes) == old
+
+
+def test_delegate_rejects_files_and_bad_mds():
+    ns, strat = bind(DynamicSubtreePartition)
+    f = ns.resolve(p.parse("/home/alice/notes.txt")).ino
+    with pytest.raises(ValueError):
+        strat.delegate(f, 0)
+    d = ns.resolve(p.parse("/home/alice/src")).ino
+    with pytest.raises(ValueError):
+        strat.delegate(d, 99)
+
+
+def test_undelegate_restores_covering_authority():
+    ns, strat = bind(DynamicSubtreePartition, n_mds=4)
+    alice = ns.resolve(p.parse("/home/alice")).ino
+    src = ns.resolve(p.parse("/home/alice/src")).ino
+    covering = strat.authority_of_ino(alice)
+    strat.delegate(src, (covering + 1) % 4)
+    strat.undelegate(src)
+    assert strat.authority_of_ino(src) == covering
+
+
+def test_undelegate_root_rejected():
+    _, strat = bind(DynamicSubtreePartition)
+    with pytest.raises(ValueError):
+        strat.undelegate(1)
+
+
+def test_coalesce_drops_redundant_nested_delegation():
+    ns, strat = bind(DynamicSubtreePartition, n_mds=4)
+    alice = ns.resolve(p.parse("/home/alice")).ino
+    src = ns.resolve(p.parse("/home/alice/src")).ino
+    strat.delegate(src, 2)
+    # now delegate the covering tree to the same MDS: nested one is redundant
+    strat.delegate(alice, 2)
+    assert src not in strat.delegations
+    assert strat.authority_of_ino(src) == 2
+
+
+def test_coalesce_keeps_nested_delegation_with_interposed_owner():
+    ns, strat = bind(DynamicSubtreePartition, n_mds=4)
+    home = ns.resolve(p.parse("/home")).ino
+    alice = ns.resolve(p.parse("/home/alice")).ino
+    src = ns.resolve(p.parse("/home/alice/src")).ino
+    strat.delegate(src, 2)
+    strat.delegate(alice, 3)   # interposed, different owner
+    strat.delegate(home, 2)    # same owner as src, but alice(3) sits between
+    assert src in strat.delegations
+    assert strat.authority_of_ino(src) == 2
+    assert strat.authority_of_ino(alice) == 3
+
+
+def test_fragmented_directory_scatters_children():
+    ns, strat = bind(DynamicSubtreePartition, n_mds=4)
+    src = ns.resolve(p.parse("/home/alice/src")).ino
+    # add enough files that hashing must hit more than one MDS
+    for i in range(20):
+        ns.create_file(p.parse(f"/home/alice/src/f{i}.c"))
+    strat.fragment_directory(src)
+    owners = {strat.authority_of_ino(ino)
+              for ino in ns.inode(src).children.values()}
+    assert len(owners) > 1
+    # the directory inode itself keeps its subtree authority
+    assert strat.authority_of_ino(src) == strat.authority_of_ino(
+        ns.resolve(p.parse("/home/alice")).ino)
+    strat.unfragment_directory(src)
+    owners_after = {strat.authority_of_ino(ino)
+                    for ino in ns.inode(src).children.values()}
+    assert owners_after == {strat.authority_of_ino(src)}
+
+
+def test_fragment_rejects_files():
+    ns, strat = bind(DynamicSubtreePartition)
+    f = ns.resolve(p.parse("/home/alice/notes.txt")).ino
+    with pytest.raises(ValueError):
+        strat.fragment_directory(f)
+
+
+def test_static_layout_is_directory_grain():
+    _, strat = bind(StaticSubtreePartition)
+    assert strat.layout.prefetches_directory
+    assert strat.needs_path_traversal

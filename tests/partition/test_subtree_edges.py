@@ -1,0 +1,96 @@
+"""Additional edge-case tests for subtree partitioning."""
+
+import pytest
+
+from repro.namespace import Namespace, build_tree
+from repro.namespace import path as p
+from repro.partition import DynamicSubtreePartition, StaticSubtreePartition
+
+
+def deep_ns():
+    ns = Namespace()
+    build_tree(ns, {
+        "a": {"b": {"c": {"d": {"leaf.txt": 1}}}},
+        "x": {"y.txt": 2},
+    })
+    return ns
+
+
+def test_split_depth_controls_initial_partition():
+    ns = deep_ns()
+    shallow = StaticSubtreePartition(4, split_depth=1)
+    shallow.bind(ns)
+    deep = StaticSubtreePartition(4, split_depth=3)
+    deep.bind(ns)
+    # deeper splitting delegates more directories explicitly
+    assert len(deep.delegations) > len(shallow.delegations)
+    c = ns.resolve(p.parse("/a/b/c")).ino
+    assert c in deep.delegations
+    assert c not in shallow.delegations
+
+
+def test_delegation_root_of_file_uses_parent_dir():
+    ns = deep_ns()
+    strat = StaticSubtreePartition(4)
+    strat.bind(ns)
+    leaf = ns.resolve(p.parse("/a/b/c/d/leaf.txt")).ino
+    root = strat.delegation_root_of(leaf)
+    assert ns.inode(root).is_dir
+    assert ns.is_ancestor_ino(root, leaf)
+
+
+def test_rebind_resets_partition_state():
+    ns = deep_ns()
+    strat = DynamicSubtreePartition(4)
+    strat.bind(ns)
+    b = ns.resolve(p.parse("/a/b")).ino
+    strat.delegate(b, 3)
+    strat.fragment_directory(b)
+    strat.bind(ns)  # re-setup
+    assert b not in strat.fragmented
+    # delegations rebuilt from the hash rule only
+    depth_ok = all(
+        len(ns.path_of(ino)) <= strat.split_depth
+        for ino in strat.delegations if ino != 1)
+    assert depth_ok
+
+
+def test_every_mds_id_reachable_with_many_subtrees():
+    ns = Namespace()
+    build_tree(ns, {f"u{i:03d}": {"f": 1} for i in range(64)})
+    strat = StaticSubtreePartition(8, split_depth=1)
+    strat.bind(ns)
+    owners = {strat.authority_of_ino(ns.resolve((f"u{i:03d}",)).ino)
+              for i in range(64)}
+    assert owners == set(range(8))
+
+
+def test_authority_follows_rename_across_delegations():
+    ns = deep_ns()
+    strat = DynamicSubtreePartition(4)
+    strat.bind(ns)
+    a = ns.resolve(p.parse("/a")).ino
+    x = ns.resolve(p.parse("/x")).ino
+    if strat.authority_of_ino(a) == strat.authority_of_ino(x):
+        strat.delegate(x, (strat.authority_of_ino(a) + 1) % 4)
+    leaf_path = p.parse("/a/b/c/d/leaf.txt")
+    leaf = ns.resolve(leaf_path).ino
+    before = strat.authority_of_ino(leaf)
+    ns.rename(leaf_path, p.parse("/x/leaf.txt"))
+    after = strat.authority_of_ino(leaf)
+    assert after == strat.authority_of_ino(x)
+    assert after != before
+
+
+def test_fragmented_lookup_is_deterministic():
+    ns = Namespace()
+    build_tree(ns, {"big": {f"f{i}": 1 for i in range(30)}})
+    strat = DynamicSubtreePartition(5)
+    strat.bind(ns)
+    big = ns.resolve(p.parse("/big")).ino
+    strat.fragment_directory(big)
+    first = {ino: strat.authority_of_ino(ino)
+             for ino in ns.inode(big).children.values()}
+    second = {ino: strat.authority_of_ino(ino)
+              for ino in ns.inode(big).children.values()}
+    assert first == second

@@ -1,0 +1,83 @@
+"""Tests for the weighted rendezvous placement function."""
+
+from collections import Counter
+
+import pytest
+
+from repro.placement import Device, StableHashPlacement
+
+
+def test_requires_devices():
+    with pytest.raises(ValueError):
+        StableHashPlacement([])
+
+
+def test_rejects_duplicate_ids():
+    with pytest.raises(ValueError):
+        StableHashPlacement([Device(1), Device(1)])
+
+
+def test_rejects_nonpositive_weight():
+    with pytest.raises(ValueError):
+        Device(0, weight=0.0)
+
+
+def test_deterministic():
+    p1 = StableHashPlacement.uniform(8)
+    p2 = StableHashPlacement.uniform(8)
+    for key in range(50):
+        assert p1.place(key, 3) == p2.place(key, 3)
+
+
+def test_replicas_distinct():
+    placement = StableHashPlacement.uniform(6)
+    for key in range(200):
+        replicas = placement.place(key, 3)
+        assert len(set(replicas)) == 3
+
+
+def test_replica_count_validation():
+    placement = StableHashPlacement.uniform(3)
+    with pytest.raises(ValueError):
+        placement.place(1, 0)
+    with pytest.raises(ValueError):
+        placement.place(1, 4)
+
+
+def test_balanced_for_uniform_weights():
+    placement = StableHashPlacement.uniform(8)
+    counts = Counter(placement.primary(key) for key in range(8000))
+    expected = 8000 / 8
+    for device_id in range(8):
+        assert 0.8 * expected < counts[device_id] < 1.2 * expected
+
+
+def test_weighted_devices_get_proportional_share():
+    placement = StableHashPlacement(
+        [Device(0, weight=1.0), Device(1, weight=3.0)])
+    counts = Counter(placement.primary(key) for key in range(8000))
+    ratio = counts[1] / counts[0]
+    assert 2.4 < ratio < 3.7
+
+
+def test_expansion_moves_only_what_lands_on_new_devices():
+    before = StableHashPlacement.uniform(8)
+    after = before.expanded([Device(8), Device(9)])
+    moved = 0
+    for key in range(4000):
+        old = before.primary(key)
+        new = after.primary(key)
+        if old != new:
+            moved += 1
+            assert new in (8, 9)  # movement only toward the new devices
+    # expected movement fraction = new capacity share = 2/10
+    assert 0.12 < moved / 4000 < 0.28
+
+
+def test_losing_a_device_promotes_next_replica():
+    placement = StableHashPlacement.uniform(6)
+    for key in range(100):
+        first, second, third = placement.place(key, 3)
+        survivors = StableHashPlacement(
+            [d for d in placement.devices if d.device_id != first])
+        assert survivors.place(key, 2) == [second, third]

@@ -1,0 +1,95 @@
+"""Tests for file striping and client-side layout recalculation."""
+
+import pytest
+
+from repro.placement import (FileMapper, StableHashPlacement, StripeLayout,
+                             object_id_for, replication_group_for)
+
+
+@pytest.fixture
+def mapper():
+    return FileMapper(StableHashPlacement.uniform(10),
+                      StripeLayout(object_size=1 << 20, n_replicas=2))
+
+
+def test_layout_validation():
+    with pytest.raises(ValueError):
+        StripeLayout(object_size=0)
+    with pytest.raises(ValueError):
+        StripeLayout(n_replicas=0)
+    with pytest.raises(ValueError):
+        StripeLayout(n_replication_groups=0)
+
+
+def test_object_id_unique_per_stripe():
+    ids = {object_id_for(ino, idx) for ino in range(50) for idx in range(20)}
+    assert len(ids) == 50 * 20
+
+
+def test_object_id_validation():
+    with pytest.raises(ValueError):
+        object_id_for(-1, 0)
+
+
+def test_n_objects(mapper):
+    assert mapper.n_objects(0) == 0
+    assert mapper.n_objects(1) == 1
+    assert mapper.n_objects(1 << 20) == 1
+    assert mapper.n_objects((1 << 20) + 1) == 2
+
+
+def test_extents_cover_file_exactly(mapper):
+    size = 3 * (1 << 20) + 12345
+    extents = mapper.map_file(ino=77, size=size)
+    assert len(extents) == 4
+    covered = 0
+    for i, ext in enumerate(extents):
+        assert ext.file_offset == covered
+        covered += ext.length
+        assert len(ext.osds) == 2
+        assert len(set(ext.osds)) == 2
+    assert covered == size
+
+
+def test_client_recalculation_matches(mapper):
+    # two independent "clients" with the same layout params agree exactly
+    other = FileMapper(StableHashPlacement.uniform(10),
+                       StripeLayout(object_size=1 << 20, n_replicas=2))
+    a = mapper.map_file(ino=123, size=5 << 20)
+    b = other.map_file(ino=123, size=5 << 20)
+    assert a == b
+
+
+def test_objects_of_one_file_spread_over_osds(mapper):
+    extents = mapper.map_file(ino=5, size=32 << 20)
+    primaries = {ext.osds[0] for ext in extents}
+    assert len(primaries) > 3
+
+
+def test_replication_group_stable(mapper):
+    layout = mapper.layout
+    assert replication_group_for(9, layout) == replication_group_for(9, layout)
+    groups = {replication_group_for(ino, layout) for ino in range(1000)}
+    assert len(groups) > layout.n_replication_groups * 0.8
+
+
+def test_locate_offset(mapper):
+    size = 4 << 20
+    ext = mapper.locate_offset(ino=3, size=size, offset=(2 << 20) + 5)
+    assert ext.file_offset == 2 << 20
+    assert ext.file_offset <= (2 << 20) + 5 < ext.file_offset + ext.length
+
+
+def test_locate_offset_bounds(mapper):
+    with pytest.raises(ValueError):
+        mapper.locate_offset(ino=3, size=100, offset=100)
+    with pytest.raises(ValueError):
+        mapper.locate_offset(ino=3, size=100, offset=-1)
+
+
+def test_fixed_metadata_footprint(mapper):
+    # the MDS-side mapping state is just (ino, size): the whole layout is a
+    # pure function of those — nothing per-object is stored anywhere
+    a = mapper.map_file(ino=42, size=10 << 20)
+    b = mapper.map_file(ino=42, size=10 << 20)
+    assert a == b and len(a) == 10

@@ -1,0 +1,180 @@
+"""Unit tests for the event calendar and clock."""
+
+import pytest
+
+from repro.sim import Environment, EventAlreadyTriggered
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_custom_start():
+    env = Environment(initial_time=5.0)
+    assert env.now == 5.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    env.timeout(3.5)
+    env.run()
+    assert env.now == 3.5
+
+
+def test_timeouts_fire_in_order():
+    env = Environment()
+    order = []
+    for delay in (3.0, 1.0, 2.0):
+        t = env.timeout(delay)
+        t.callbacks.append(lambda ev, d=delay: order.append(d))
+    env.run()
+    assert order == [1.0, 2.0, 3.0]
+
+
+def test_equal_time_fifo_order():
+    env = Environment()
+    order = []
+    for i in range(5):
+        t = env.timeout(1.0)
+        t.callbacks.append(lambda ev, i=i: order.append(i))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+    env.timeout(10.0)
+    env.run(until=4.0)
+    assert env.now == 4.0
+
+
+def test_run_until_time_processes_events_at_boundary():
+    env = Environment()
+    hits = []
+    t = env.timeout(4.0)
+    t.callbacks.append(lambda ev: hits.append(env.now))
+    env.run(until=4.0)
+    assert hits == [4.0]
+
+
+def test_run_until_past_time_raises():
+    env = Environment(initial_time=10.0)
+    with pytest.raises(ValueError):
+        env.run(until=5.0)
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+    ev = env.event()
+    t = env.timeout(2.0)
+    t.callbacks.append(lambda _: ev.succeed("done"))
+    assert env.run(until=ev) == "done"
+    assert env.now == 2.0
+
+
+def test_run_until_event_raises_on_failure():
+    env = Environment()
+    ev = env.event()
+    t = env.timeout(1.0)
+    t.callbacks.append(lambda _: ev.fail(RuntimeError("boom")))
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run(until=ev)
+
+
+def test_run_until_event_never_triggering_is_error():
+    env = Environment()
+    ev = env.event()
+    env.timeout(1.0)
+    with pytest.raises(RuntimeError, match="exhausted"):
+        env.run(until=ev)
+
+
+def test_run_until_already_processed_event():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(7)
+    env.run()  # processes the event
+    assert env.run(until=ev) == 7
+
+
+def test_event_double_succeed_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(EventAlreadyTriggered):
+        ev.succeed(2)
+
+
+def test_event_fail_requires_exception():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_unhandled_failed_event_raises_from_run():
+    env = Environment()
+    ev = env.event()
+    ev.fail(ValueError("nobody caught me"))
+    with pytest.raises(ValueError, match="nobody caught me"):
+        env.run()
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(2.5)
+    env.timeout(1.5)
+    assert env.peek() == 1.5
+
+
+def test_all_of_collects_values_in_order():
+    env = Environment()
+    a = env.timeout(2.0, value="a")
+    b = env.timeout(1.0, value="b")
+    combined = env.all_of([a, b])
+    assert env.run(until=combined) == ["a", "b"]
+    assert env.now == 2.0
+
+
+def test_all_of_empty_succeeds_immediately():
+    env = Environment()
+    combined = env.all_of([])
+    assert env.run(until=combined) == []
+
+
+def test_all_of_fails_on_first_failure():
+    env = Environment()
+    a = env.timeout(5.0, value="a")
+    bad = env.event()
+    t = env.timeout(1.0)
+    t.callbacks.append(lambda _: bad.fail(KeyError("x")))
+    combined = env.all_of([a, bad])
+    with pytest.raises(KeyError):
+        env.run(until=combined)
+
+
+def test_any_of_settles_with_first():
+    env = Environment()
+    a = env.timeout(2.0, value="slow")
+    b = env.timeout(1.0, value="fast")
+    combined = env.any_of([a, b])
+    assert env.run(until=combined) == "fast"
+    assert env.now == 1.0
+    env.run()  # drain the slower timeout; must not blow up
+
+
+def test_any_of_with_already_processed_event():
+    env = Environment()
+    done = env.event()
+    done.succeed("early")
+    env.run()
+    combined = env.any_of([done, env.timeout(9.0)])
+    assert env.run(until=combined) == "early"

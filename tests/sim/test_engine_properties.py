@@ -1,0 +1,79 @@
+"""Property-based tests for the event calendar's ordering guarantees."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.sim import Environment
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                          allow_nan=False), min_size=1, max_size=40))
+def test_timeouts_fire_in_nondecreasing_time_order(delays):
+    env = Environment()
+    fired = []
+    for delay in delays:
+        t = env.timeout(delay)
+        t.callbacks.append(lambda ev, d=delay: fired.append((env.now, d)))
+    env.run()
+    times = [t for t, _d in fired]
+    assert times == sorted(times)
+    assert sorted(d for _t, d in fired) == sorted(delays)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(0, 5), min_size=1, max_size=30))
+def test_equal_time_events_fire_fifo(tags):
+    env = Environment()
+    fired = []
+    for i, _tag in enumerate(tags):
+        t = env.timeout(1.0)
+        t.callbacks.append(lambda ev, i=i: fired.append(i))
+    env.run()
+    assert fired == list(range(len(tags)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.floats(min_value=0.01, max_value=5.0),
+                          st.integers(1, 4)),
+                min_size=1, max_size=12))
+def test_process_completion_times_are_exact(specs):
+    env = Environment()
+    results = {}
+
+    def worker(name, delay, hops):
+        for _ in range(hops):
+            yield env.timeout(delay)
+        results[name] = env.now
+
+    for i, (delay, hops) in enumerate(specs):
+        env.process(worker(i, delay, hops))
+    env.run()
+    for i, (delay, hops) in enumerate(specs):
+        assert abs(results[i] - delay * hops) < 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(1, 6), st.lists(st.floats(min_value=0.01, max_value=1.0),
+                                   min_size=1, max_size=15))
+def test_resource_conservation(capacity, holds):
+    """A FIFO resource never exceeds capacity and serves everyone."""
+    from repro.sim import Resource
+
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    served = []
+    peak = [0]
+
+    def worker(i, hold):
+        yield res.request()
+        peak[0] = max(peak[0], res.in_use)
+        yield env.timeout(hold)
+        res.release()
+        served.append(i)
+
+    for i, hold in enumerate(holds):
+        env.process(worker(i, hold))
+    env.run()
+    assert len(served) == len(holds)
+    assert peak[0] <= capacity

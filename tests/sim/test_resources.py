@@ -1,0 +1,196 @@
+"""Unit tests for Resource (FIFO servers) and Store (blocking buffer)."""
+
+import pytest
+
+from repro.sim import Environment, Resource, Store
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_grants_immediately_when_free():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    granted = []
+
+    def body():
+        yield res.request()
+        granted.append(env.now)
+
+    env.process(body())
+    env.run()
+    assert granted == [0.0]
+    assert res.in_use == 1
+
+
+def test_resource_fifo_queueing():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+
+    def worker(name, hold):
+        yield res.request()
+        log.append((name, "start", env.now))
+        yield env.timeout(hold)
+        res.release()
+        log.append((name, "end", env.now))
+
+    env.process(worker("first", 2.0))
+    env.process(worker("second", 1.0))
+    env.process(worker("third", 1.0))
+    env.run()
+    assert log == [
+        ("first", "start", 0.0),
+        ("first", "end", 2.0),
+        ("second", "start", 2.0),
+        ("second", "end", 3.0),
+        ("third", "start", 3.0),
+        ("third", "end", 4.0),
+    ]
+
+
+def test_resource_multiple_servers_run_concurrently():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    ends = []
+
+    def worker(hold):
+        yield res.request()
+        yield env.timeout(hold)
+        res.release()
+        ends.append(env.now)
+
+    for _ in range(4):
+        env.process(worker(1.0))
+    env.run()
+    # Two at a time: pairs finish at t=1 and t=2.
+    assert ends == [1.0, 1.0, 2.0, 2.0]
+
+
+def test_resource_release_without_request_raises():
+    env = Environment()
+    res = Resource(env)
+    with pytest.raises(RuntimeError):
+        res.release()
+
+
+def test_resource_use_helper_releases_on_completion():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def body():
+        yield from res.use(3.0)
+
+    proc = env.process(body())
+    env.run(until=proc)
+    assert env.now == 3.0
+    assert res.in_use == 0
+
+
+def test_resource_cancel_queued_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    first = res.request()
+    assert first.triggered
+    second = res.request()
+    assert not second.triggered
+    assert res.cancel(second) is True
+    assert res.cancel(second) is False
+    res.release()
+    env.run()
+    assert res.in_use == 0
+    assert res.queue_length == 0
+
+
+def test_resource_queue_length_tracks_waiters():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    res.request()
+    res.request()
+    res.request()
+    assert res.queue_length == 2
+
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+    store.put("x")
+    got = []
+
+    def body():
+        item = yield store.get()
+        got.append(item)
+
+    env.process(body())
+    env.run()
+    assert got == ["x"]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((item, env.now))
+
+    def producer():
+        yield env.timeout(5.0)
+        store.put("late")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [("late", 5.0)]
+
+
+def test_store_fifo_ordering_of_items():
+    env = Environment()
+    store = Store(env)
+    for i in range(3):
+        store.put(i)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(consumer())
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_fifo_ordering_of_getters():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(name):
+        item = yield store.get()
+        got.append((name, item))
+
+    env.process(consumer("a"))
+    env.process(consumer("b"))
+
+    def producer():
+        yield env.timeout(1.0)
+        store.put(1)
+        store.put(2)
+
+    env.process(producer())
+    env.run()
+    assert got == [("a", 1), ("b", 2)]
+
+
+def test_store_len_counts_buffered_items():
+    env = Environment()
+    store = Store(env)
+    assert len(store) == 0
+    store.put("a")
+    store.put("b")
+    assert len(store) == 2

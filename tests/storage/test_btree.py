@@ -1,0 +1,142 @@
+"""Unit tests for the copy-on-write directory B-tree (§4.6)."""
+
+import pytest
+
+from repro.storage.btree import BTreeNode, DirectoryBTree
+
+
+def filled(n, t=3):
+    tree = DirectoryBTree(min_degree=t)
+    for i in range(n):
+        tree.insert(f"k{i:04d}", i)
+    return tree
+
+
+def test_min_degree_validation():
+    with pytest.raises(ValueError):
+        DirectoryBTree(min_degree=1)
+
+
+def test_empty_tree():
+    tree = DirectoryBTree()
+    assert len(tree) == 0
+    assert "x" not in tree
+    assert tree.get("x") is None
+    assert tree.get("x", default=7) == 7
+    assert list(tree.items()) == []
+    assert tree.depth() == 1
+
+
+def test_insert_and_get():
+    tree = DirectoryBTree(min_degree=3)
+    tree.insert("b", 2)
+    tree.insert("a", 1)
+    tree.insert("c", 3)
+    assert tree.get("a") == 1 and tree.get("b") == 2 and tree.get("c") == 3
+    assert len(tree) == 3
+    assert list(tree.keys()) == ["a", "b", "c"]
+
+
+def test_insert_replace_keeps_count():
+    tree = filled(10)
+    tree.insert("k0003", 999)
+    assert len(tree) == 10
+    assert tree.get("k0003") == 999
+
+
+def test_many_inserts_sorted_iteration():
+    tree = filled(200, t=3)
+    assert len(tree) == 200
+    keys = list(tree.keys())
+    assert keys == sorted(keys)
+    tree.verify_invariants()
+
+
+def test_tree_grows_in_depth():
+    tree = DirectoryBTree(min_degree=2)
+    assert tree.depth() == 1
+    for i in range(30):
+        tree.insert(f"k{i:02d}", i)
+    assert tree.depth() > 1
+    tree.verify_invariants()
+
+
+def test_insert_cost_is_logarithmic_not_linear():
+    tree = filled(500, t=8)
+    cost = tree.insert("zzzz", 1)
+    # path copying: roughly depth nodes, far fewer than total nodes
+    assert cost <= 3 * tree.depth() + 2
+
+
+def test_delete_leaf_and_internal():
+    tree = filled(100, t=3)
+    cost = tree.delete("k0050")
+    assert cost > 0
+    assert "k0050" not in tree
+    assert len(tree) == 99
+    tree.verify_invariants()
+
+
+def test_delete_everything():
+    tree = filled(60, t=2)
+    for i in range(60):
+        tree.delete(f"k{i:04d}")
+        tree.verify_invariants()
+    assert len(tree) == 0
+
+
+def test_delete_missing_raises():
+    tree = filled(5)
+    with pytest.raises(KeyError):
+        tree.delete("nope")
+
+
+def test_delete_in_random_order():
+    import random
+    rng = random.Random(3)
+    tree = filled(120, t=3)
+    names = [f"k{i:04d}" for i in range(120)]
+    rng.shuffle(names)
+    for name in names:
+        tree.delete(name)
+        tree.verify_invariants()
+    assert len(tree) == 0
+
+
+def test_snapshot_is_frozen_copy():
+    tree = filled(50)
+    snap = tree.snapshot()
+    tree.insert("new", 1)
+    tree.delete("k0000")
+    assert "new" in tree and "k0000" not in tree
+    assert "new" not in snap and "k0000" in snap
+    assert len(snap) == 50
+    snap.verify_invariants()
+    tree.verify_invariants()
+
+
+def test_snapshot_shares_nodes():
+    tree = filled(50)
+    snap = tree.snapshot()
+    assert snap.root is tree.root  # O(1): no copying happened
+
+
+def test_copy_on_write_never_mutates_old_nodes():
+    tree = DirectoryBTree(min_degree=2)
+    roots = []
+    for i in range(40):
+        tree.insert(f"k{i:02d}", i)
+        roots.append((tree.root, i + 1))
+    # every historical root still iterates its own consistent prefix
+    for root, count in roots:
+        old = DirectoryBTree(min_degree=2, root=root)
+        assert len(old) == count
+        old.verify_invariants()
+
+
+def test_node_arity_validation():
+    with pytest.raises(ValueError):
+        BTreeNode(keys=("a",), values=())
+    with pytest.raises(ValueError):
+        BTreeNode(keys=("a",), values=(1,),
+                  children=(BTreeNode(),))  # needs 2 children

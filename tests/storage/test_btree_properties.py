@@ -1,0 +1,54 @@
+"""Property-based tests: the COW B-tree against a dict model."""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import (RuleBasedStateMachine, initialize,
+                                 invariant, rule)
+
+from repro.storage.btree import DirectoryBTree
+
+KEYS = st.text(alphabet="abcdef", min_size=1, max_size=4)
+
+
+class BTreeMachine(RuleBasedStateMachine):
+    @initialize(t=st.integers(2, 5))
+    def setup(self, t):
+        self.tree = DirectoryBTree(min_degree=t)
+        self.model = {}
+        self.snapshots = []  # (frozen tree, frozen model)
+
+    @rule(key=KEYS, value=st.integers())
+    def insert(self, key, value):
+        self.tree.insert(key, value)
+        self.model[key] = value
+
+    @rule(key=KEYS)
+    def delete_if_present(self, key):
+        if key in self.model:
+            self.tree.delete(key)
+            del self.model[key]
+
+    @rule()
+    def snapshot(self):
+        if len(self.snapshots) < 4:
+            self.snapshots.append((self.tree.snapshot(), dict(self.model)))
+
+    @rule(key=KEYS)
+    def get_matches_model(self, key):
+        assert self.tree.get(key, default=None) == self.model.get(key)
+
+    @invariant()
+    def consistent(self):
+        if not hasattr(self, "tree"):
+            return
+        self.tree.verify_invariants()
+        assert len(self.tree) == len(self.model)
+        assert dict(self.tree.items()) == self.model
+        # snapshots are immune to later mutation
+        for snap, frozen_model in self.snapshots:
+            assert dict(snap.items()) == frozen_model
+
+
+BTreeMachine.TestCase.settings = settings(
+    max_examples=50, stateful_step_count=40, deadline=None)
+TestBTreeProperties = BTreeMachine.TestCase

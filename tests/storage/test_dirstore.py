@@ -1,0 +1,152 @@
+"""Tests for the B-tree directory-object store and its snapshots."""
+
+import pytest
+
+from repro.namespace import Namespace, build_tree
+from repro.namespace import path as p
+from repro.storage.dirstore import DirectoryObjectStore, EmbeddedInode
+
+
+@pytest.fixture
+def loaded():
+    ns = Namespace()
+    build_tree(ns, {
+        "proj": {"a.txt": 10, "b.txt": 20, "src": {"m.c": 5}},
+        "home": {"x": 1},
+    })
+    store = DirectoryObjectStore(min_degree=3)
+    store.load_from_namespace(ns)
+    return ns, store
+
+
+def test_min_degree_validation():
+    with pytest.raises(ValueError):
+        DirectoryObjectStore(min_degree=1)
+
+
+def test_load_mirrors_namespace(loaded):
+    ns, store = loaded
+    store.verify_against(ns)
+    proj = ns.resolve(p.parse("/proj")).ino
+    assert store.entry_count(proj) == 3
+    names = [name for name, _e in store.readdir(proj)]
+    assert names == sorted(names) == ["a.txt", "b.txt", "src"]
+
+
+def test_lookup_returns_embedded_inode(loaded):
+    ns, store = loaded
+    proj = ns.resolve(p.parse("/proj")).ino
+    emb = store.lookup(proj, "a.txt")
+    assert isinstance(emb, EmbeddedInode)
+    assert emb.size == 10
+    assert store.lookup(proj, "nope") is None
+    assert store.lookup(99999, "x") is None
+
+
+def test_apply_create_and_unlink(loaded):
+    ns, store = loaded
+    proj_path = p.parse("/proj")
+    proj = ns.resolve(proj_path).ino
+    inode = ns.create_file(p.parse("/proj/new.txt"), size=7)
+    written = store.apply_create(proj, "new.txt", inode)
+    assert written >= 1
+    store.verify_against(ns)
+
+    ns.unlink(p.parse("/proj/new.txt"))
+    store.apply_unlink(proj, "new.txt")
+    store.verify_against(ns)
+
+
+def test_apply_update_rewrites_embed(loaded):
+    ns, store = loaded
+    proj = ns.resolve(p.parse("/proj")).ino
+    inode = ns.setattr(p.parse("/proj/a.txt"), size=999)
+    store.apply_update(proj, "a.txt", inode)
+    assert store.lookup(proj, "a.txt").size == 999
+    store.verify_against(ns)
+
+
+def test_apply_update_missing_raises(loaded):
+    ns, store = loaded
+    proj = ns.resolve(p.parse("/proj")).ino
+    with pytest.raises(KeyError):
+        store.apply_update(proj, "ghost", ns.resolve(p.parse("/proj/a.txt")))
+
+
+def test_apply_rename_across_objects(loaded):
+    ns, store = loaded
+    proj = ns.resolve(p.parse("/proj")).ino
+    home = ns.resolve(p.parse("/home")).ino
+    ns.rename(p.parse("/proj/a.txt"), p.parse("/home/a.txt"))
+    store.apply_rename(proj, "a.txt", home, "a.txt")
+    store.verify_against(ns)
+
+
+def test_apply_rename_missing_raises(loaded):
+    ns, store = loaded
+    proj = ns.resolve(p.parse("/proj")).ino
+    with pytest.raises(KeyError):
+        store.apply_rename(proj, "ghost", proj, "ghost2")
+
+
+def test_incremental_cost_tracked(loaded):
+    ns, store = loaded
+    before = store.stats.btree_nodes_written
+    proj = ns.resolve(p.parse("/proj")).ino
+    inode = ns.create_file(p.parse("/proj/c.txt"))
+    store.apply_create(proj, "c.txt", inode)
+    assert store.stats.btree_nodes_written > before
+    assert store.stats.updates == 1
+
+
+def test_snapshot_preserves_old_contents(loaded):
+    ns, store = loaded
+    proj = ns.resolve(p.parse("/proj")).ino
+    store.snapshot_directory(proj, "before")
+    inode = ns.create_file(p.parse("/proj/later.txt"))
+    store.apply_create(proj, "later.txt", inode)
+    ns.unlink(p.parse("/proj/b.txt"))
+    store.apply_unlink(proj, "b.txt")
+
+    live = {name for name, _e in store.readdir(proj)}
+    snap = {name for name, _e in store.read_snapshot(proj, "before")}
+    assert "later.txt" in live and "b.txt" not in live
+    assert "later.txt" not in snap and "b.txt" in snap
+    assert list(store.snapshot_names(proj)) == ["before"]
+
+
+def test_snapshot_all(loaded):
+    ns, store = loaded
+    captured = store.snapshot_all("epoch1")
+    assert captured == ns.count_dirs()
+    proj = ns.resolve(p.parse("/proj")).ino
+    assert {n for n, _ in store.read_snapshot(proj, "epoch1")} == \
+        {"a.txt", "b.txt", "src"}
+
+
+def test_read_missing_snapshot_raises(loaded):
+    ns, store = loaded
+    proj = ns.resolve(p.parse("/proj")).ino
+    with pytest.raises(KeyError):
+        list(store.read_snapshot(proj, "never"))
+
+
+def test_drop_snapshot(loaded):
+    ns, store = loaded
+    proj = ns.resolve(p.parse("/proj")).ino
+    store.snapshot_directory(proj, "s")
+    store.drop_snapshot(proj, "s")
+    with pytest.raises(KeyError):
+        list(store.read_snapshot(proj, "s"))
+    store.drop_snapshot(proj, "s")  # idempotent
+
+
+def test_big_directory_object_depth():
+    ns = Namespace()
+    build_tree(ns, {"big": {f"f{i:04d}": 1 for i in range(500)}})
+    store = DirectoryObjectStore(min_degree=3)
+    store.load_from_namespace(ns)
+    big = ns.resolve(p.parse("/big")).ino
+    assert store.entry_count(big) == 500
+    assert store.object_depth(big) >= 3
+    store.verify_against(ns)

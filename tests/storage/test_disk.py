@@ -1,0 +1,108 @@
+"""Unit tests for the average-latency disk device."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.storage import DiskDevice
+
+
+def test_latency_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        DiskDevice(env, read_s=-1.0, write_s=0.0)
+
+
+def test_single_read_takes_read_latency():
+    env = Environment()
+    disk = DiskDevice(env, read_s=0.004, write_s=0.002)
+
+    def body():
+        yield from disk.read()
+
+    proc = env.process(body())
+    env.run(until=proc)
+    assert env.now == pytest.approx(0.004)
+    assert disk.stats.reads == 1
+    assert disk.stats.writes == 0
+
+
+def test_multi_unit_read_scales():
+    env = Environment()
+    disk = DiskDevice(env, read_s=0.004, write_s=0.002)
+
+    def body():
+        yield from disk.read(units=3)
+
+    proc = env.process(body())
+    env.run(until=proc)
+    assert env.now == pytest.approx(0.012)
+    assert disk.stats.reads == 3
+
+
+def test_zero_units_rejected():
+    env = Environment()
+    disk = DiskDevice(env, read_s=0.004, write_s=0.002)
+    with pytest.raises(ValueError):
+        next(disk.read(units=0))
+
+
+def test_contention_serializes():
+    env = Environment()
+    disk = DiskDevice(env, read_s=0.010, write_s=0.002)
+    done = []
+
+    def reader(name):
+        yield from disk.read()
+        done.append((name, env.now))
+
+    env.process(reader("a"))
+    env.process(reader("b"))
+    env.run()
+    assert done == [("a", pytest.approx(0.010)), ("b", pytest.approx(0.020))]
+
+
+def test_queue_length_visible_during_contention():
+    env = Environment()
+    disk = DiskDevice(env, read_s=0.010, write_s=0.002)
+    samples = []
+
+    def reader():
+        yield from disk.read()
+
+    def sampler():
+        yield env.timeout(0.005)
+        samples.append(disk.queue_length)
+
+    env.process(reader())
+    env.process(reader())
+    env.process(reader())
+    env.process(sampler())
+    env.run()
+    assert samples == [2]
+
+
+def test_busy_time_and_utilization():
+    env = Environment()
+    disk = DiskDevice(env, read_s=0.004, write_s=0.006)
+
+    def body():
+        yield from disk.read()
+        yield from disk.write()
+
+    proc = env.process(body())
+    env.run(until=proc)
+    assert disk.stats.busy_s == pytest.approx(0.010)
+    assert disk.utilization(0.020) == pytest.approx(0.5)
+    assert disk.utilization(0.0) == 0.0
+
+
+def test_mixed_read_write_counts():
+    env = Environment()
+    disk = DiskDevice(env, read_s=0.001, write_s=0.001)
+
+    def body():
+        yield from disk.write(units=2)
+        yield from disk.read(units=1)
+
+    env.run(until=env.process(body()))
+    assert disk.stats.transactions == 3

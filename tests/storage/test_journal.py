@@ -1,0 +1,90 @@
+"""Unit tests for the bounded update journal."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.storage import DiskDevice, Journal
+
+
+def make(capacity=3, write_s=0.001):
+    env = Environment()
+    dev = DiskDevice(env, read_s=0.004, write_s=write_s, name="journal")
+    return env, Journal(env, dev, capacity=capacity)
+
+
+def run_append(env, journal, ino):
+    """Drive one append to completion and return the retired inos."""
+    result = {}
+
+    def body():
+        retired = yield from journal.append(ino)
+        result["retired"] = retired
+
+    env.run(until=env.process(body()))
+    return result["retired"]
+
+
+def test_capacity_validation():
+    env = Environment()
+    dev = DiskDevice(env, read_s=0.0, write_s=0.0)
+    with pytest.raises(ValueError):
+        Journal(env, dev, capacity=0)
+
+
+def test_append_costs_one_write():
+    env, journal = make(write_s=0.002)
+    run_append(env, journal, 10)
+    assert journal.device.stats.writes == 1
+    assert env.now == pytest.approx(0.002)
+
+
+def test_append_tracks_membership():
+    env, journal = make()
+    run_append(env, journal, 10)
+    assert 10 in journal
+    assert len(journal) == 1
+
+
+def test_overflow_retires_oldest():
+    env, journal = make(capacity=2)
+    assert run_append(env, journal, 1) == []
+    assert run_append(env, journal, 2) == []
+    retired = run_append(env, journal, 3)
+    assert retired == [1]
+    assert 1 not in journal and 2 in journal and 3 in journal
+
+
+def test_remodification_absorbs_instead_of_retiring():
+    env, journal = make(capacity=2)
+    run_append(env, journal, 1)
+    run_append(env, journal, 2)
+    # touch 1 again: moves to the tail, no retirement
+    assert run_append(env, journal, 1) == []
+    assert journal.stats.overwrites == 1
+    # now 2 is oldest
+    assert run_append(env, journal, 3) == [2]
+
+
+def test_warm_inos_oldest_first():
+    env, journal = make(capacity=5)
+    for ino in (4, 2, 9):
+        run_append(env, journal, ino)
+    assert journal.warm_inos() == [4, 2, 9]
+
+
+def test_clear():
+    env, journal = make()
+    run_append(env, journal, 1)
+    journal.clear()
+    assert len(journal) == 0
+    assert journal.warm_inos() == []
+
+
+def test_stats_counts():
+    env, journal = make(capacity=1)
+    run_append(env, journal, 1)
+    run_append(env, journal, 2)
+    run_append(env, journal, 2)
+    assert journal.stats.appends == 3
+    assert journal.stats.retirements == 1
+    assert journal.stats.overwrites == 1

@@ -1,0 +1,117 @@
+"""Unit tests for the shared OSD pool and layout policies."""
+
+import pytest
+
+from repro.namespace import Namespace, build_tree
+from repro.namespace import path as p
+from repro.sim import Environment
+from repro.storage import (DirectoryGrainLayout, InodeGrainLayout,
+                           ObjectStore)
+
+
+def make_store(n_osds=4, read_s=0.004, write_s=0.002):
+    env = Environment()
+    return env, ObjectStore(env, n_osds=n_osds, read_s=read_s, write_s=write_s)
+
+
+def make_ns():
+    ns = Namespace()
+    build_tree(ns, {"d": {"a.txt": 1, "b.txt": 2, "sub": {"c.txt": 3}}})
+    return ns
+
+
+def run(env, gen):
+    result = {}
+
+    def body():
+        result["value"] = yield from gen
+
+    env.run(until=env.process(body()))
+    return result["value"]
+
+
+def test_needs_at_least_one_osd():
+    env = Environment()
+    with pytest.raises(ValueError):
+        ObjectStore(env, n_osds=0, read_s=0.001, write_s=0.001)
+
+
+def test_device_for_is_stable_and_in_range():
+    env, store = make_store(n_osds=4)
+    for ino in range(100):
+        dev = store.device_for(ino)
+        assert dev is store.device_for(ino)
+        assert dev in store.osds
+
+
+def test_device_for_spreads_objects():
+    env, store = make_store(n_osds=4)
+    used = {id(store.device_for(ino)) for ino in range(64)}
+    assert len(used) == 4
+
+
+def test_dir_read_costs_one_transaction():
+    env, store = make_store()
+    run(env, store.read_dir_object(5))
+    assert store.stats.dir_reads == 1
+    assert env.now == pytest.approx(0.004)
+
+
+def test_inode_read_write_counters():
+    env, store = make_store()
+    run(env, store.read_inode(5))
+    run(env, store.write_inode(5))
+    run(env, store.write_dir_object(6))
+    assert store.total_reads == 1
+    assert store.total_writes == 2
+
+
+def test_directory_grain_fetch_prefetches_siblings():
+    env, store = make_store()
+    ns = make_ns()
+    layout = DirectoryGrainLayout()
+    target = ns.resolve(p.parse("/d/a.txt"))
+    siblings = run(env, layout.fetch(store, ns, target))
+    expected = {ns.resolve(p.parse("/d/b.txt")).ino,
+                ns.resolve(p.parse("/d/sub")).ino}
+    assert set(siblings) == expected
+    assert store.stats.dir_reads == 1
+    assert store.stats.inode_reads == 0
+
+
+def test_directory_grain_fetch_of_directory_reads_own_object():
+    env, store = make_store()
+    ns = make_ns()
+    layout = DirectoryGrainLayout()
+    d = ns.resolve(p.parse("/d"))
+    siblings = run(env, layout.fetch(store, ns, d))
+    # fetching the directory object yields its children for prefetch
+    assert set(siblings) == {ns.resolve(p.parse("/d/a.txt")).ino,
+                             ns.resolve(p.parse("/d/b.txt")).ino,
+                             ns.resolve(p.parse("/d/sub")).ino}
+
+
+def test_inode_grain_fetch_no_prefetch():
+    env, store = make_store()
+    ns = make_ns()
+    layout = InodeGrainLayout()
+    target = ns.resolve(p.parse("/d/a.txt"))
+    siblings = run(env, layout.fetch(store, ns, target))
+    assert siblings == []
+    assert store.stats.inode_reads == 1
+    assert store.stats.dir_reads == 0
+
+
+def test_layout_writeback_counters():
+    env, store = make_store()
+    ns = make_ns()
+    target = ns.resolve(p.parse("/d/a.txt"))
+    run(env, DirectoryGrainLayout().writeback(store, ns, target))
+    run(env, InodeGrainLayout().writeback(store, ns, target))
+    assert store.stats.dir_writes == 1
+    assert store.stats.inode_writes == 1
+
+
+def test_prefetch_flags():
+    assert DirectoryGrainLayout().prefetches_directory
+    assert not InodeGrainLayout().prefetches_directory

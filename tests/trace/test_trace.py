@@ -1,0 +1,138 @@
+"""Tests for trace recording, serialization, and replay."""
+
+import io
+
+import pytest
+
+from repro.clients import Client, GeneralWorkload, GeneralWorkloadSpec
+from repro.mds import MdsCluster, MdsRequest, OpType, SimParams
+from repro.namespace import Namespace, SnapshotSpec, generate_snapshot
+from repro.namespace import path as p
+from repro.partition import make_strategy
+from repro.sim import Environment, RngStreams
+from repro.trace import (RecordingWorkload, Trace, TraceRecord,
+                         TraceReplayWorkload)
+
+
+def build(seed=5, strategy="DynamicSubtree"):
+    env = Environment()
+    streams = RngStreams(seed)
+    ns = Namespace()
+    snapshot = generate_snapshot(
+        ns, SnapshotSpec(n_users=4, files_per_user=25), streams)
+    strat = make_strategy(strategy, 3)
+    strat.bind(ns)
+    cluster = MdsCluster(env, ns, strat, SimParams())
+    cluster.start()
+    return env, streams, ns, snapshot, cluster
+
+
+def record_run(seed=5, until=1.5, n_clients=5):
+    env, streams, ns, snapshot, cluster = build(seed)
+    inner = GeneralWorkload(ns, snapshot.user_roots,
+                            GeneralWorkloadSpec(think_time_s=0.02))
+    recording = RecordingWorkload(inner)
+    clients = [Client(env, i, cluster, recording,
+                      streams.py_stream(f"c{i}")) for i in range(n_clients)]
+    for c in clients:
+        c.start()
+    env.run(until=until)
+    return recording.trace
+
+
+def test_record_roundtrip_json():
+    record = TraceRecord(t=1.5, client_id=3, op="open", path="/a/b",
+                         size=10)
+    line = record.to_json()
+    assert TraceRecord.from_json(line) == record
+
+
+def test_record_from_request_roundtrip():
+    req = MdsRequest(op=OpType.RENAME, path=p.parse("/a/b"), client_id=2,
+                     dst_path=p.parse("/c/d"), mode=0o600, size=5,
+                     dir_hint=True)
+    record = TraceRecord.from_request(2.5, req)
+    back = record.to_request()
+    assert back.op is OpType.RENAME
+    assert back.path == p.parse("/a/b")
+    assert back.dst_path == p.parse("/c/d")
+    assert back.mode == 0o600 and back.size == 5 and back.dir_hint
+
+
+def test_recording_captures_operations():
+    trace = record_run()
+    assert len(trace) > 50
+    assert trace.clients() <= set(range(5))
+    assert trace.duration() > 0.5
+    ops = {r.op for r in trace.records}
+    assert "open" in ops or "stat" in ops
+
+
+def test_trace_dump_and_load():
+    trace = record_run(until=0.8)
+    buffer = io.StringIO()
+    written = trace.dump(buffer)
+    assert written == len(trace)
+    buffer.seek(0)
+    loaded = Trace.load(buffer)
+    assert loaded.records == trace.records
+
+
+def test_replay_reproduces_op_stream():
+    trace = record_run(seed=7, until=1.0)
+    env, streams, ns, snapshot, cluster = build(seed=7)
+    replay = TraceReplayWorkload(trace)
+    clients = [Client(env, i, cluster, replay,
+                      streams.py_stream(f"c{i}"))
+               for i in sorted(trace.clients())]
+    for c in clients:
+        c.start()
+    env.run(until=2.0)
+    replayed = sum(c.stats.ops_completed for c in clients)
+    assert replayed == len(trace)
+    for c in clients:
+        assert replay.remaining(c.client_id) == 0
+
+
+def test_replay_against_a_different_strategy():
+    trace = record_run(seed=9, until=1.0)
+    env, streams, ns, snapshot, cluster = build(seed=9, strategy="FileHash")
+    replay = TraceReplayWorkload(trace)
+    clients = [Client(env, i, cluster, replay, streams.py_stream(f"c{i}"))
+               for i in sorted(trace.clients())]
+    for c in clients:
+        c.start()
+    env.run(until=2.5)
+    replayed = sum(c.stats.ops_completed for c in clients)
+    # a few ops may fail (different interleaving of mutations) but the
+    # stream must drive through
+    assert replayed == len(trace)
+
+
+def test_replay_time_scale():
+    trace = record_run(seed=11, until=1.0)
+    env, streams, ns, snapshot, cluster = build(seed=11)
+    replay = TraceReplayWorkload(trace, time_scale=0.5)
+    clients = [Client(env, i, cluster, replay, streams.py_stream(f"c{i}"))
+               for i in sorted(trace.clients())]
+    for c in clients:
+        c.start()
+    env.run(until=0.75)  # compressed timeline finishes sooner
+    replayed = sum(c.stats.ops_completed for c in clients)
+    assert replayed > 0.8 * len(trace)
+
+
+def test_replay_rejects_bad_time_scale():
+    with pytest.raises(ValueError):
+        TraceReplayWorkload(Trace(), time_scale=0.0)
+
+
+def test_exhausted_client_goes_idle():
+    trace = Trace([TraceRecord(t=0.1, client_id=0, op="stat", path="/")])
+    env, streams, ns, snapshot, cluster = build()
+    replay = TraceReplayWorkload(trace)
+    client = Client(env, 0, cluster, replay, streams.py_stream("c0"))
+    client.start()
+    env.run(until=1.0)
+    assert client.stats.ops_completed == 1
+    assert replay.remaining(0) == 0

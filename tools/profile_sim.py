@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Profile a standard simulation run (cProfile).
+
+"No optimization without measuring": this drives the same simulation the
+scaling experiments use under cProfile and prints the hottest functions,
+so changes to the kernel or the MDS serving path can be judged on data.
+
+Usage:
+    python tools/profile_sim.py [--scale 0.5] [--strategy DynamicSubtree]
+    python tools/profile_sim.py --sort tottime --limit 40
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+import time
+
+from repro.experiments import run_steady_state, scaling_config
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--strategy", default="DynamicSubtree")
+    parser.add_argument("--n-mds", type=int, default=6)
+    parser.add_argument("--sort", default="cumulative",
+                        choices=["cumulative", "tottime", "ncalls"])
+    parser.add_argument("--limit", type=int, default=25)
+    parser.add_argument("--dump", metavar="FILE",
+                        help="also write raw stats for snakeviz etc.")
+    args = parser.parse_args(argv)
+
+    config = scaling_config(args.strategy, args.n_mds, args.scale)
+    profiler = cProfile.Profile()
+    wall = time.time()
+    profiler.enable()
+    result = run_steady_state(config)
+    profiler.disable()
+    wall = time.time() - wall
+
+    print(f"simulated {result.total_ops} ops "
+          f"({result.mean_node_throughput:.0f} ops/s/MDS) "
+          f"in {wall:.1f}s wall "
+          f"-> {result.total_ops / wall:.0f} simulated ops per wall-second\n")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.limit)
+    if args.dump:
+        stats.dump_stats(args.dump)
+        print(f"raw profile written to {args.dump}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
