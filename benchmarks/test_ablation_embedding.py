@@ -7,8 +7,8 @@ scattered per-inode storage.  This ablation isolates the layout choice on a
 directory-grain layout and again forced onto the inode-grain layout.
 """
 
-from repro.experiments import run_steady_state, scaling_config
-from repro.experiments.builder import build_simulation
+from repro.api import run_steady_state, scaling_config
+from repro.api import build_simulation
 from repro.storage import InodeGrainLayout
 
 from .conftest import bench_scale, run_once

@@ -10,8 +10,8 @@ balancing equalizes *utilization*.
 
 import dataclasses
 
-from repro.experiments import scaling_config
-from repro.experiments.builder import build_simulation
+from repro.api import scaling_config
+from repro.api import build_simulation
 from repro.mds import BalancePolicy, WeightedNodesPolicy
 
 from .conftest import bench_scale, run_once

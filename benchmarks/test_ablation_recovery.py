@@ -8,8 +8,8 @@ node mid-run, recovers it warm or cold, and compares how it performs in
 the first seconds back.
 """
 
-from repro.experiments import scaling_config
-from repro.experiments.builder import build_simulation
+from repro.api import scaling_config
+from repro.api import build_simulation
 from repro.mds import fail_node, recover_node
 
 from .conftest import bench_scale, run_once

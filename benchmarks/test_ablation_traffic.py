@@ -9,8 +9,7 @@ before relief arrives.
 
 import dataclasses
 
-from repro.experiments.builder import build_simulation
-from repro.experiments.figures import flash_config
+from repro.api import build_simulation, flash_config
 
 from .conftest import bench_scale, run_once
 
@@ -25,12 +24,10 @@ def run_with_threshold(threshold: float):
                                   cfg.params.unreplicate_threshold)))
     sim = build_simulation(cfg)
     sim.run_to(cfg.run_until_s)
-    forwards = sum(n.stats.forwards for n in sim.cluster.nodes)
-    served = sum(n.stats.ops_served for n in sim.cluster.nodes)
-    finish = max((c.stats.latencies and
-                  max(c.stats.latencies) or 0.0) for c in sim.clients)
-    return {"threshold": threshold, "forwards": forwards, "served": served,
-            "worst_latency_s": finish}
+    summary = sim.summary(window=(0.0, cfg.run_until_s))
+    return {"threshold": threshold, "forwards": summary.total_forwards,
+            "served": summary.total_served,
+            "worst_latency_s": summary.latency.max_s}
 
 
 def test_ablation_replication_threshold(benchmark):

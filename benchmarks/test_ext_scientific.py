@@ -14,7 +14,7 @@ five strategies and asserts the consequences of the paper's arguments:
   which funnel everything through the shared directory's one authority.
 """
 
-from repro.experiments import extA_scientific
+from repro.api import extA_scientific
 
 from .conftest import run_once
 

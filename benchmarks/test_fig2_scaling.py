@@ -11,7 +11,7 @@ per-MDS cache fixed.  Asserts the qualitative shape:
   highlights, §5.3.1).
 """
 
-from repro.experiments import fig2
+from repro.api import fig2
 
 from .conftest import run_once
 

@@ -9,7 +9,7 @@ prefixes local and few.  Asserts:
 * subtree strategies stay low and roughly flat.
 """
 
-from repro.experiments import fig3
+from repro.api import fig3
 
 from .conftest import run_once
 

@@ -9,7 +9,7 @@ fixed cluster.  Asserts:
   no locality) trails.
 """
 
-from repro.experiments import fig4
+from repro.api import fig4
 
 from .conftest import run_once
 

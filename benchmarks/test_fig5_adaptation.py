@@ -12,7 +12,7 @@ subtrees one MDS serves and start creating files there.  Asserts:
   static partition's residual.
 """
 
-from repro.experiments import fig5, fig6, run_shift_experiment
+from repro.api import fig5, fig6, run_shift_experiment
 
 from .conftest import run_once
 

@@ -10,9 +10,9 @@ simultaneously.  Asserts:
   crowd drain.
 """
 
-from repro.experiments import fig7
-from repro.experiments.builder import build_simulation
-from repro.experiments.figures import flash_config
+from repro.api import fig7
+from repro.api import build_simulation
+from repro.api import flash_config
 
 from .conftest import run_once
 

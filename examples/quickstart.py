@@ -1,77 +1,55 @@
 #!/usr/bin/env python3
-"""Quickstart: build an MDS cluster, run a workload, read the results.
+"""Quickstart: run an MDS-cluster experiment and see where the time goes.
 
-This walks the public API end to end:
+This walks the public API (``repro.api``) end to end:
 
-1. generate a synthetic file-system snapshot;
-2. pick a partitioning strategy and build the simulated MDS cluster;
-3. attach a population of general-purpose clients;
-4. run for a few simulated seconds and print what happened.
+1. describe an experiment with :class:`ExperimentConfig` — cluster size,
+   partitioning strategy, workload, and a trace sampling rate;
+2. run it with :func:`run_experiment`;
+3. read the typed :class:`ClusterSummary` (throughput, hit rate,
+   per-op-type latency percentiles);
+4. pick one sampled request trace and render its span timeline.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.clients import Client, GeneralWorkload, GeneralWorkloadSpec
-from repro.mds import MdsCluster, SimParams
-from repro.metrics import format_table
-from repro.namespace import Namespace, SnapshotSpec, generate_snapshot
-from repro.partition import make_strategy
-from repro.sim import Environment, RngStreams
+from repro.api import ExperimentConfig, run_experiment
 
 
 def main() -> None:
-    env = Environment()
-    streams = RngStreams(master_seed=42)
+    # 1. a 4-node dynamic-subtree cluster under the general-purpose
+    #    workload, tracing every request (sample rate 1.0; production-style
+    #    runs use 0.01-0.1, and 0.0 keeps only the latency histograms)
+    config = ExperimentConfig(
+        strategy="DynamicSubtree",
+        n_mds=4,
+        scale=0.2,
+        warmup_s=1.0,
+        duration_s=4.0,
+        trace_sample_rate=1.0,
+    )
 
-    # 1. the file system: a collection of home directories plus /usr
-    ns = Namespace()
-    snapshot = generate_snapshot(
-        ns, SnapshotSpec(n_users=24, files_per_user=80), streams)
-    print(f"namespace: {snapshot.n_files} files, {snapshot.n_dirs} dirs, "
-          f"max depth {snapshot.max_depth_seen}")
+    # 2. build + run + summarize in one call
+    result = run_experiment(config)
 
-    # 2. the metadata cluster: 4 servers, dynamic subtree partitioning
-    strategy = make_strategy("DynamicSubtree", n_mds=4)
-    strategy.bind(ns)
-    params = SimParams(cache_capacity=500, journal_capacity=500)
-    cluster = MdsCluster(env, ns, strategy, params)
-    cluster.start()
+    # 3. the aggregate view: cluster counters plus p50/p95/p99 per op type
+    print(result.summary.format())
 
-    # 3. eighty clients working in their home directories
-    workload = GeneralWorkload(ns, snapshot.user_roots,
-                               GeneralWorkloadSpec(think_time_s=0.01))
-    clients = [Client(env, i, cluster, workload,
-                      streams.py_stream(f"client.{i}")) for i in range(80)]
-    for client in clients:
-        client.start()
-
-    # 4. simulate five seconds, then report
-    env.run(until=5.0)
-
-    rows = []
-    for node in cluster.nodes:
-        s = node.stats
-        rows.append([
-            f"mds{node.node_id}",
-            s.ops_served,
-            s.forwards,
-            f"{s.hit_rate:.3f}",
-            f"{node.cache.prefix_fraction():.3f}",
-            len(node.cache),
-        ])
+    # 4. the per-request view: where did one slow open spend its time?
+    traced = [t for t in result.traces if t.ok]
+    slowest = max(traced, key=lambda t: t.latency_s)
     print()
-    print(format_table(
-        ["node", "ops served", "forwards", "hit rate", "prefix frac",
-         "cached inodes"], rows, title="Per-MDS results after 5 s"))
-
-    total_ops = sum(c.stats.ops_completed for c in clients)
-    mean_latency = (sum(c.stats.total_latency_s for c in clients)
-                    / max(1, total_ops))
+    print(f"collected {len(result.traces)} traces; slowest request:")
     print()
-    print(f"cluster throughput : {total_ops / 5.0:,.0f} ops/s")
-    print(f"mean client latency: {mean_latency * 1000:.2f} ms")
-    print(f"cluster hit rate   : {cluster.cluster_hit_rate():.3f}")
-    print(f"forward fraction   : {cluster.forward_fraction():.3f}")
+    print(slowest.render())
+    print()
+    print("Each bar is one span: net.hop (client->MDS wire time),")
+    print("node.queue (inbox wait), node.cpu (path resolution),")
+    print("osd.read (metadata fetch from the object store), and so on —")
+    print("see docs/ARCHITECTURE.md#observability for the full taxonomy.")
+    print("Pass jsonl_path=... to run_experiment to export traces for")
+    print("offline analysis, and trace_sample_rate=0.0 (the default) to")
+    print("keep only the histograms at zero per-request cost.")
 
 
 if __name__ == "__main__":

@@ -9,7 +9,7 @@ one-screen summary of the trade-offs the paper's evaluation explores.
 Run:  python examples/strategy_comparison.py
 """
 
-from repro.experiments import run_steady_state, scaling_config
+from repro.api import run_steady_state, scaling_config
 from repro.metrics import format_table
 from repro.partition import strategy_names
 
@@ -45,8 +45,9 @@ def main() -> None:
     print(" - LazyHybrid avoids traversal entirely (no prefix cache, no")
     print("   forwarding) at the cost of the worst cache hit rate — it can")
     print("   look strong on a small cluster; run `python -m")
-    print("   repro.experiments fig2` to see how the curves evolve with")
-    print("   scale, and EXPERIMENTS.md for the full comparison.")
+    print("   repro.experiments fig2` (or repro.api.fig2()) to see how the")
+    print("   curves evolve with scale, and EXPERIMENTS.md for the full")
+    print("   comparison.")
 
 
 if __name__ == "__main__":

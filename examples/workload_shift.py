@@ -11,7 +11,7 @@ side.
 Run:  python examples/workload_shift.py
 """
 
-from repro.experiments import run_timeline, shift_config
+from repro.api import run_timeline, shift_config
 from repro.metrics import format_table
 
 SCALE = 0.4

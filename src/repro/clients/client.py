@@ -74,6 +74,10 @@ class Client:
                 continue
             request.client_id = self.client_id
             request.uid = self.uid
+            tracer = self.cluster.tracer
+            if tracer is not None and tracer.enabled:
+                request.trace = tracer.maybe_trace(
+                    request.op, request.path, self.client_id, self.env.now)
             dest = self._destination(request)
             done = self.cluster.submit(dest, request)
             reply: MdsReply = yield done
@@ -93,6 +97,11 @@ class Client:
         self.stats.total_latency_s += reply.latency_s
         self.stats.latencies.append(reply.latency_s)
         self.stats.forwards_seen += reply.forwarded
+        tracer = self.cluster.tracer
+        if tracer is not None:
+            tracer.record_latency(request.op, reply.latency_s)
+            if request.trace is not None:
+                tracer.finish(request.trace, now=self.env.now, ok=reply.ok)
         if not reply.ok:
             self.stats.errors += 1
             # stale knowledge may have misrouted us; drop the deepest hint

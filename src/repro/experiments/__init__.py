@@ -1,6 +1,6 @@
 """Experiment harness (S13 in DESIGN.md): configs, builders, figure drivers."""
 
-from .builder import Simulation, build_simulation
+from ._build import Simulation, build_simulation
 from .config import ExperimentConfig, env_scale
 from .extensions import extA_scientific, scientific_config
 from .figures import (FIGURES, FigureResult, fig2, fig3, fig4, fig5, fig6,
@@ -8,8 +8,10 @@ from .figures import (FIGURES, FigureResult, fig2, fig3, fig4, fig5, fig6,
                       scaling_config, shift_config)
 from .runner import (SteadyStateResult, TimelineResult, run_steady_state,
                      run_timeline)
+from .summary import ClusterSummary, summarize_simulation
 
 __all__ = [
+    "ClusterSummary",
     "ExperimentConfig",
     "FIGURES",
     "FigureResult",
@@ -32,4 +34,5 @@ __all__ = [
     "run_timeline",
     "scaling_config",
     "shift_config",
+    "summarize_simulation",
 ]

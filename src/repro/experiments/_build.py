@@ -1,0 +1,193 @@
+"""Build a runnable simulation from an :class:`ExperimentConfig`.
+
+Internal module: the public import surface is :mod:`repro.api` (the old
+``repro.experiments.builder`` path remains as a deprecation shim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from ..clients import (Client, FlashCrowdSpec, FlashCrowdWorkload,
+                       GeneralWorkload, GeneralWorkloadSpec, SCALING_MIX,
+                       ScientificSpec, ScientificWorkload, ShiftSpec,
+                       ShiftingWorkload)
+from ..mds import MdsCluster
+from ..namespace import Namespace, SnapshotSpec, SnapshotStats, \
+    generate_snapshot
+from ..namespace import path as pathmod
+from ..obs import RingBufferSink, Trace, Tracer
+from ..partition import make_strategy
+from ..sim import Environment, RngStreams
+from .config import ExperimentConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .summary import ClusterSummary
+
+
+@dataclass
+class Simulation:
+    """A fully wired simulation ready to ``env.run()``."""
+
+    config: ExperimentConfig
+    env: Environment
+    streams: RngStreams
+    ns: Namespace
+    snapshot: SnapshotStats
+    cluster: MdsCluster
+    clients: List[Client]
+    workload: object
+    tracer: Optional[Tracer] = None
+
+    def run_to(self, t: float) -> None:
+        self.env.run(until=t)
+
+    @property
+    def total_metadata(self) -> int:
+        return len(self.ns)
+
+    def summary(self, window: Optional[Tuple[float, float]] = None
+                ) -> "ClusterSummary":
+        """Typed aggregate of the run so far (see :class:`ClusterSummary`).
+
+        ``window`` bounds the throughput measurement; it defaults to the
+        config's post-warmup measure window, clamped to the time actually
+        simulated.
+        """
+        from .summary import summarize_simulation
+
+        return summarize_simulation(self, window)
+
+    def traces(self) -> List[Trace]:
+        """Sampled traces collected so far (newest-last, ring-bounded)."""
+        if self.tracer is None or not isinstance(self.tracer.sink,
+                                                 RingBufferSink):
+            return []
+        return self.tracer.sink.traces
+
+
+def build_simulation(config: ExperimentConfig) -> Simulation:
+    """Construct namespace, cluster, clients and tracer per the config."""
+    env = Environment()
+    streams = RngStreams(config.seed)
+
+    ns = Namespace()
+    spec = SnapshotSpec(n_users=config.n_users,
+                        files_per_user=config.n_files_per_user,
+                        shared_tree_files=config.shared_tree_files)
+    snapshot = generate_snapshot(ns, spec, streams)
+
+    strategy = make_strategy(config.strategy, config.n_mds)
+    strategy.bind(ns)
+    params = _size_cache(config, len(ns))
+    tracer = Tracer(sample_rate=config.trace_sample_rate,
+                    sink=RingBufferSink(config.trace_buffer),
+                    seed=config.seed)
+    cluster = MdsCluster(env, ns, strategy, params, tracer=tracer)
+    cluster.start()
+
+    workload = _make_workload(config, ns, snapshot, strategy)
+    clients = []
+    for i in range(config.n_clients):
+        client = Client(env, i, cluster, workload,
+                        streams.py_stream(f"client.{i}"))
+        client.start()
+        clients.append(client)
+
+    return Simulation(config=config, env=env, streams=streams, ns=ns,
+                      snapshot=snapshot, cluster=cluster, clients=clients,
+                      workload=workload, tracer=tracer)
+
+
+def _size_cache(config: ExperimentConfig, total_metadata: int):
+    """Apply the config's cache-sizing rule to the SimParams."""
+    import dataclasses
+
+    params = config.params
+    if config.cache_fraction is not None:
+        capacity = max(16, int(config.cache_fraction * total_metadata))
+    elif config.cache_capacity_per_mds is not None:
+        capacity = config.cache_capacity_per_mds
+    else:
+        return params
+    return dataclasses.replace(params, cache_capacity=capacity,
+                               journal_capacity=capacity)
+
+
+def _make_workload(config: ExperimentConfig, ns: Namespace,
+                   snapshot: SnapshotStats, strategy=None):
+    args = dict(config.workload_args)
+    kind = config.workload
+
+    if kind in ("general", "scaling"):
+        weights = config.op_weights or (
+            dict(SCALING_MIX) if kind == "scaling" else None)
+        spec_kw = dict(think_time_s=config.think_time_s)
+        if weights is not None:
+            spec_kw["op_weights"] = weights
+        for key in ("move_dir_prob", "shared_tree_prob",
+                    "dir_chmod_fraction", "mkdir_fraction"):
+            if key in args:
+                spec_kw[key] = args[key]
+        return GeneralWorkload(ns, snapshot.user_roots,
+                               GeneralWorkloadSpec(**spec_kw))
+
+    if kind == "shifting":
+        # The "new portion of the hierarchy served by a single MDS"
+        # (§5.3.2): every user subtree the victim node initially owns.
+        victim_node = int(args.get("victim_node", 0))
+        victim_roots = None
+        if strategy is not None:
+            victim_roots = [
+                root for root in snapshot.user_roots
+                if strategy.authority_of_ino(ns.resolve(root).ino)
+                == victim_node] or None
+        shift = ShiftSpec(
+            shift_time_s=args.get("shift_time_s", 10.0),
+            migrate_fraction=args.get("migrate_fraction", 0.5),
+            victim_roots=victim_roots)
+        spec_kw = dict(think_time_s=config.think_time_s)
+        if config.op_weights is not None:
+            spec_kw["op_weights"] = config.op_weights
+        return ShiftingWorkload(ns, snapshot.user_roots, shift,
+                                GeneralWorkloadSpec(**spec_kw))
+
+    if kind == "scientific":
+        shared = snapshot.user_roots[0]
+        return ScientificWorkload(
+            ns, shared,
+            ScientificSpec(phase_len_s=args.get("phase_len_s", 1.0)))
+
+    if kind == "flash":
+        target = _flash_target(ns, snapshot)
+        return FlashCrowdWorkload(
+            ns, target,
+            FlashCrowdSpec(
+                start_s=args.get("start_s", 1.0),
+                arrival_jitter_s=args.get("arrival_jitter_s", 0.05),
+                requests_per_client=int(args.get("requests_per_client", 5)),
+                repeat_think_s=args.get("repeat_think_s", 0.01)))
+
+    raise ValueError(f"unknown workload kind {kind!r}")
+
+
+def _flash_target(ns: Namespace, snapshot: SnapshotStats):
+    """Pick a deep, previously-unknown file as the flash-crowd target.
+
+    The choice must be stable under snapshot-generator changes, so it is
+    explicit: the *lexicographically-last named* file child of the last
+    user root (not whatever dict iteration order happens to yield).  If
+    that root has no file children, a synthetic one is created.
+    """
+    root = snapshot.user_roots[-1]
+    node = ns.resolve(root)
+    best = None
+    for name in sorted(node.children):  # type: ignore[union-attr]
+        child = ns.inode(node.children[name])  # type: ignore[union-attr]
+        if child.is_file:
+            best = pathmod.join(root, name)
+    if best is None:
+        best = pathmod.join(root, "hotfile.dat")
+        ns.create_file(best, size=1 << 30)
+    return best

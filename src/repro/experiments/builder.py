@@ -1,156 +1,19 @@
-"""Build a runnable simulation from an :class:`ExperimentConfig`."""
+"""Deprecated import path — use :mod:`repro.api` instead.
+
+Kept as a shim so old call sites (``from repro.experiments.builder import
+build_simulation``) keep working; they now emit a ``DeprecationWarning``.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+import warnings
 
-from ..clients import (Client, FlashCrowdSpec, FlashCrowdWorkload,
-                       GeneralWorkload, GeneralWorkloadSpec, SCALING_MIX,
-                       ScientificSpec, ScientificWorkload, ShiftSpec,
-                       ShiftingWorkload)
-from ..mds import MdsCluster
-from ..namespace import Namespace, SnapshotSpec, SnapshotStats, \
-    generate_snapshot
-from ..namespace import path as pathmod
-from ..partition import make_strategy
-from ..sim import Environment, RngStreams
-from .config import ExperimentConfig
+warnings.warn(
+    "repro.experiments.builder is deprecated; import ExperimentConfig, "
+    "build_simulation and Simulation from repro.api instead",
+    DeprecationWarning, stacklevel=2)
 
+from ._build import (Simulation, build_simulation,  # noqa: E402,F401
+                     _flash_target, _make_workload, _size_cache)
 
-@dataclass
-class Simulation:
-    """A fully wired simulation ready to ``env.run()``."""
-
-    config: ExperimentConfig
-    env: Environment
-    streams: RngStreams
-    ns: Namespace
-    snapshot: SnapshotStats
-    cluster: MdsCluster
-    clients: List[Client]
-    workload: object
-
-    def run_to(self, t: float) -> None:
-        self.env.run(until=t)
-
-    @property
-    def total_metadata(self) -> int:
-        return len(self.ns)
-
-
-def build_simulation(config: ExperimentConfig) -> Simulation:
-    """Construct namespace, cluster and clients per the config."""
-    env = Environment()
-    streams = RngStreams(config.seed)
-
-    ns = Namespace()
-    spec = SnapshotSpec(n_users=config.n_users,
-                        files_per_user=config.n_files_per_user,
-                        shared_tree_files=config.shared_tree_files)
-    snapshot = generate_snapshot(ns, spec, streams)
-
-    strategy = make_strategy(config.strategy, config.n_mds)
-    strategy.bind(ns)
-    params = _size_cache(config, len(ns))
-    cluster = MdsCluster(env, ns, strategy, params)
-    cluster.start()
-
-    workload = _make_workload(config, ns, snapshot, strategy)
-    clients = []
-    for i in range(config.n_clients):
-        client = Client(env, i, cluster, workload,
-                        streams.py_stream(f"client.{i}"))
-        client.start()
-        clients.append(client)
-
-    return Simulation(config=config, env=env, streams=streams, ns=ns,
-                      snapshot=snapshot, cluster=cluster, clients=clients,
-                      workload=workload)
-
-
-def _size_cache(config: ExperimentConfig, total_metadata: int):
-    """Apply the config's cache-sizing rule to the SimParams."""
-    import dataclasses
-
-    params = config.params
-    if config.cache_fraction is not None:
-        capacity = max(16, int(config.cache_fraction * total_metadata))
-    elif config.cache_capacity_per_mds is not None:
-        capacity = config.cache_capacity_per_mds
-    else:
-        return params
-    return dataclasses.replace(params, cache_capacity=capacity,
-                               journal_capacity=capacity)
-
-
-def _make_workload(config: ExperimentConfig, ns: Namespace,
-                   snapshot: SnapshotStats, strategy=None):
-    args = dict(config.workload_args)
-    kind = config.workload
-
-    if kind in ("general", "scaling"):
-        weights = config.op_weights or (
-            dict(SCALING_MIX) if kind == "scaling" else None)
-        spec_kw = dict(think_time_s=config.think_time_s)
-        if weights is not None:
-            spec_kw["op_weights"] = weights
-        for key in ("move_dir_prob", "shared_tree_prob",
-                    "dir_chmod_fraction", "mkdir_fraction"):
-            if key in args:
-                spec_kw[key] = args[key]
-        return GeneralWorkload(ns, snapshot.user_roots,
-                               GeneralWorkloadSpec(**spec_kw))
-
-    if kind == "shifting":
-        # The "new portion of the hierarchy served by a single MDS"
-        # (§5.3.2): every user subtree the victim node initially owns.
-        victim_node = int(args.get("victim_node", 0))
-        victim_roots = None
-        if strategy is not None:
-            victim_roots = [
-                root for root in snapshot.user_roots
-                if strategy.authority_of_ino(ns.resolve(root).ino)
-                == victim_node] or None
-        shift = ShiftSpec(
-            shift_time_s=args.get("shift_time_s", 10.0),
-            migrate_fraction=args.get("migrate_fraction", 0.5),
-            victim_roots=victim_roots)
-        spec_kw = dict(think_time_s=config.think_time_s)
-        if config.op_weights is not None:
-            spec_kw["op_weights"] = config.op_weights
-        return ShiftingWorkload(ns, snapshot.user_roots, shift,
-                                GeneralWorkloadSpec(**spec_kw))
-
-    if kind == "scientific":
-        shared = snapshot.user_roots[0]
-        return ScientificWorkload(
-            ns, shared,
-            ScientificSpec(phase_len_s=args.get("phase_len_s", 1.0)))
-
-    if kind == "flash":
-        target = _flash_target(ns, snapshot)
-        return FlashCrowdWorkload(
-            ns, target,
-            FlashCrowdSpec(
-                start_s=args.get("start_s", 1.0),
-                arrival_jitter_s=args.get("arrival_jitter_s", 0.05),
-                requests_per_client=int(args.get("requests_per_client", 5)),
-                repeat_think_s=args.get("repeat_think_s", 0.01)))
-
-    raise ValueError(f"unknown workload kind {kind!r}")
-
-
-def _flash_target(ns: Namespace, snapshot: SnapshotStats):
-    """Pick a deep, previously-unknown file as the flash-crowd target."""
-    root = snapshot.user_roots[-1]
-    node = ns.resolve(root)
-    best = None
-    for name, ino in node.children.items():  # type: ignore[union-attr]
-        child = ns.inode(ino)
-        if child.is_file:
-            best = pathmod.join(root, name)
-    if best is None:
-        best = pathmod.join(root, "hotfile.dat")
-        ns.create_file(best, size=1 << 30)
-    return best
+__all__ = ["Simulation", "build_simulation"]

@@ -67,6 +67,13 @@ class ExperimentConfig:
     workload_args: Dict[str, float] = field(default_factory=dict)
     op_weights: Optional[Dict[OpType, float]] = None
 
+    # observability: fraction of requests carrying a span trace (0.0 keeps
+    # the hot path untraced and event-for-event identical to an untraced
+    # run; latency histograms are recorded regardless), and the capacity
+    # of the in-memory trace ring buffer.
+    trace_sample_rate: float = 0.0
+    trace_buffer: int = 4096
+
     params: SimParams = field(default_factory=SimParams)
     scale: float = 1.0
 

@@ -19,7 +19,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..mds import SimParams
 from ..partition import strategy_names
-from .builder import build_simulation
+from ._build import build_simulation
 from .config import ExperimentConfig
 from .figures import FigureResult
 

@@ -149,6 +149,9 @@ def _averaged_steady(configs: List[ExperimentConfig]) -> SteadyStateResult:
                                   for r in results) / n,
         errors=sum(r.errors for r in results),
         total_metadata=first.total_metadata,
+        latency_p50_s=sum(r.latency_p50_s for r in results) / n,
+        latency_p95_s=sum(r.latency_p95_s for r in results) / n,
+        latency_p99_s=sum(r.latency_p99_s for r in results) / n,
     )
 
 

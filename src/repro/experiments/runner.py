@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from .builder import Simulation, build_simulation
+from ._build import Simulation, build_simulation
 from .config import ExperimentConfig
 
 
@@ -23,6 +23,10 @@ class SteadyStateResult:
     client_mean_latency_s: float
     errors: int
     total_metadata: int
+    # client-observed latency percentiles (streaming histograms, all ops)
+    latency_p50_s: float = 0.0
+    latency_p95_s: float = 0.0
+    latency_p99_s: float = 0.0
 
 
 def run_steady_state(config: ExperimentConfig) -> SteadyStateResult:
@@ -30,21 +34,21 @@ def run_steady_state(config: ExperimentConfig) -> SteadyStateResult:
     sim = build_simulation(config)
     t0, t1 = config.measure_window
     sim.run_to(t1)
-    cluster = sim.cluster
-    ops = sum(c.stats.ops_completed for c in sim.clients)
-    lat = [c.stats.mean_latency_s for c in sim.clients
-           if c.stats.ops_completed]
+    summary = sim.summary(window=(t0, t1))
     return SteadyStateResult(
         config=config,
-        mean_node_throughput=cluster.mean_node_throughput(t0, t1),
-        node_throughputs=cluster.node_throughputs(t0, t1),
-        hit_rate=cluster.cluster_hit_rate(),
-        prefix_fraction=cluster.mean_prefix_fraction(),
-        forward_fraction=cluster.forward_fraction(),
-        total_ops=ops,
-        client_mean_latency_s=sum(lat) / len(lat) if lat else 0.0,
-        errors=sum(c.stats.errors for c in sim.clients),
-        total_metadata=sim.total_metadata,
+        mean_node_throughput=summary.throughput_ops_per_s,
+        node_throughputs=summary.node_throughputs,
+        hit_rate=summary.hit_rate,
+        prefix_fraction=summary.prefix_fraction,
+        forward_fraction=summary.forward_fraction,
+        total_ops=summary.total_ops,
+        client_mean_latency_s=summary.mean_latency_s,
+        errors=summary.errors,
+        total_metadata=summary.total_metadata,
+        latency_p50_s=summary.latency_p50_s,
+        latency_p95_s=summary.latency_p95_s,
+        latency_p99_s=summary.latency_p99_s,
     )
 
 

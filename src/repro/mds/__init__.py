@@ -4,7 +4,7 @@ from .cluster import MdsCluster
 from .config import DEFAULT_PARAMS, SimParams
 from .dirfrag import DirFragManager
 from .failover import fail_node, recover_node, warm_from_journal
-from .loadbalance import LoadBalancer
+from .loadbalance import LoadBalancer, NodeLoad
 from .messages import (ANY_NODE, MUTATING_OPS, READ_ONLY_OPS, MdsReply,
                        MdsRequest, OpType)
 from .migration import migrate_subtree
@@ -27,6 +27,7 @@ __all__ = [
     "MdsNode",
     "MdsReply",
     "MdsRequest",
+    "NodeLoad",
     "NodeStats",
     "OpType",
     "PopularityMap",

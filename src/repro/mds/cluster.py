@@ -13,6 +13,7 @@ import random
 from typing import Any, Dict, Generator, List, Optional, Set
 
 from ..namespace import Namespace
+from ..obs import Tracer
 from ..partition import DynamicSubtreePartition, Strategy
 from ..sim import Environment, Event
 from ..storage import ObjectStore
@@ -29,11 +30,15 @@ class MdsCluster:
 
     def __init__(self, env: Environment, ns: Namespace, strategy: Strategy,
                  params: SimParams = SimParams(), *,
-                 n_mds: Optional[int] = None) -> None:
+                 n_mds: Optional[int] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         self.env = env
         self.ns = ns
         self.strategy = strategy
         self.params = params
+        #: request-level observability (spans + latency histograms); a
+        #: ``None`` tracer disables both without any hot-path cost
+        self.tracer = tracer
         self.n_mds = n_mds if n_mds is not None else strategy.n_mds
         if self.n_mds != strategy.n_mds:
             raise ValueError(
@@ -130,6 +135,11 @@ class MdsCluster:
         if self.nodes[node_id].failed:
             request.hops += 1
             node_id = self.pick_live_node()
+        now = self.env.now
+        request.enqueued_at = now + self.params.net_hop_s
+        if request.trace is not None:
+            request.trace.add("net.hop", now, request.enqueued_at,
+                              node=node_id)
         timer = self.env.timeout(self.params.net_hop_s)
         inbox = self.nodes[node_id].inbox
         timer.callbacks.append(lambda _ev: inbox.put(request))
@@ -138,6 +148,11 @@ class MdsCluster:
         """Complete a request's done-event after one network hop."""
         done = request.done
         assert done is not None
+        if request.trace is not None:
+            now = self.env.now
+            request.trace.add("net.reply", now,
+                              now + self.params.net_hop_s,
+                              node=reply.served_by)
         timer = self.env.timeout(self.params.net_hop_s)
         timer.callbacks.append(lambda _ev: done.succeed(reply))
 
@@ -217,6 +232,10 @@ class MdsCluster:
     def mean_prefix_fraction(self) -> float:
         fracs = [node.cache.prefix_fraction() for node in self.nodes]
         return sum(fracs) / len(fracs)
+
+    def queue_delay_summaries(self) -> "List":
+        """Per-node inbox queue-delay percentile digests."""
+        return [node.stats.queue_delay.summary() for node in self.nodes]
 
     def cache_report(self) -> Dict[str, float]:
         """Aggregated slot census over all node caches."""

@@ -10,8 +10,11 @@ subtrees of locally-rooted delegations.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, Generator, List, Set, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, \
+    Set, Tuple
 
+from ..metrics import LatencyHistogram
 from ..namespace import ROOT_INO
 from ..partition import DynamicSubtreePartition
 from ..sim import Event
@@ -19,6 +22,27 @@ from .migration import migrate_subtree
 
 if TYPE_CHECKING:  # pragma: no cover
     from .cluster import MdsCluster
+
+
+@dataclass(frozen=True)
+class NodeLoad:
+    """One node's entry in a heartbeat load snapshot.
+
+    Beyond the scalar decision metric (kept identical to the paper's §5.1
+    weighted combination so balancing behaviour is unchanged), the snapshot
+    exposes *where* the pressure sits: inbox queue-delay percentiles over
+    the last interval, not just the instantaneous backlog count.
+    """
+
+    node_id: int
+    load: float                 # the decision metric (normalized)
+    served_per_s: float
+    misses_per_s: float
+    backlog: int
+    queue_delay_p50_s: float
+    queue_delay_p95_s: float
+    queue_delay_p99_s: float
+    queue_delay_samples: int
 
 
 class LoadBalancer:
@@ -43,6 +67,10 @@ class LoadBalancer:
         self._last_moved: Dict[int, float] = {}
         self.rounds = 0
         self.migrations = 0
+        #: the most recent heartbeat's per-node load snapshot
+        self.last_snapshot: List[NodeLoad] = []
+        #: queue-delay histogram baselines for interval percentiles
+        self._qdelay_baseline: Dict[int, Optional[LatencyHistogram]] = {}
 
     # -- the heartbeat process ------------------------------------------------
     def run(self) -> Generator[Event, Any, None]:
@@ -91,9 +119,16 @@ class LoadBalancer:
         the current request backlog: a node drowning in queued requests
         completes *fewer* ops, so completions alone would make the most
         overloaded node look idle.
+
+        Each call also refreshes :attr:`last_snapshot` with a
+        :class:`NodeLoad` per node, including interval queue-delay
+        percentiles; the *decision* metric deliberately stays the paper's
+        primitive combination so snapshot consumers never perturb
+        balancing behaviour.
         """
         interval = self.params.balance_interval_s
         loads = []
+        snapshot: List[NodeLoad] = []
         for node in self.cluster.nodes:
             delta = node.stats.deltas.snapshot()
             served = delta.get("served", 0.0) / interval
@@ -103,7 +138,20 @@ class LoadBalancer:
                    + self.params.balance_miss_weight * misses
                    + self.params.balance_queue_weight * backlog)
             # heterogeneous clusters balance *utilization* (§4.3)
-            loads.append(raw / self.policy.node_capacity(node.node_id))
+            load = raw / self.policy.node_capacity(node.node_id)
+            loads.append(load)
+            qdelta = node.stats.queue_delay.subtract(
+                self._qdelay_baseline.get(node.node_id))
+            self._qdelay_baseline[node.node_id] = \
+                node.stats.queue_delay.copy()
+            snapshot.append(NodeLoad(
+                node_id=node.node_id, load=load, served_per_s=served,
+                misses_per_s=misses, backlog=backlog,
+                queue_delay_p50_s=qdelta.quantile(0.50),
+                queue_delay_p95_s=qdelta.quantile(0.95),
+                queue_delay_p99_s=qdelta.quantile(0.99),
+                queue_delay_samples=qdelta.count))
+        self.last_snapshot = snapshot
         return loads
 
     # -- subtree selection ---------------------------------------------------------

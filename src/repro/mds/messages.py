@@ -4,10 +4,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import TYPE_CHECKING, Dict, Optional, Union
 
 from ..namespace.path import Path
 from ..sim import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import Trace
 
 #: Location marker in distribution info: item is replicated on every node,
 #: contact any of them (§4.4).
@@ -56,6 +59,11 @@ class MdsRequest:
     done: Optional[Event] = None      # completion event (set by the cluster)
     submitted_at: float = 0.0
     hops: int = 0                     # intra-cluster forwards so far
+    #: when the request landed in its current node's inbox (set by the
+    #: cluster on every delivery; feeds the queue-delay histograms)
+    enqueued_at: float = 0.0
+    #: span trace riding this request, when the tracer sampled it
+    trace: "Optional[Trace]" = None
     #: client-known fact that ``path`` names a directory (a readdir target,
     #: the client's own cwd).  Directory-hash routing needs it: directories
     #: hash on their own path, files on their parent's.

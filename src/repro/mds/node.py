@@ -96,6 +96,11 @@ class MdsNode:
     # request handling
     # ------------------------------------------------------------------
     def _handle(self, req: MdsRequest) -> Generator[Event, Any, None]:
+        trace = req.trace
+        now = self.env.now
+        self.stats.record_queue_delay(now - req.enqueued_at)
+        if trace is not None:
+            trace.add("node.queue", req.enqueued_at, now, node=self.node_id)
         if self.failed:
             # a dead server answers nothing: the client's retry lands on a
             # random live node (which forwards to the new authority)
@@ -107,7 +112,11 @@ class MdsNode:
 
         target, authority, error = self._locate(req)
         if error is not None:
+            t0 = self.env.now
             yield from self.cpu.use(self.params.cpu_op_s)
+            if trace is not None:
+                trace.add("node.cpu", t0, self.env.now, node=self.node_id,
+                          detail="locate-error")
             self._reply(req, ok=False, error=error)
             return
 
@@ -118,9 +127,14 @@ class MdsNode:
                 yield from self._forward(req, authority)
                 return
             # fall through: serve the read from the local replica
+            if trace is not None:
+                trace.bump("replica.read")
 
+        t0 = self.env.now
         yield from self.cpu.use(
             self.params.cpu_op_s / self.params.speed_of(self.node_id))
+        if trace is not None:
+            trace.add("node.cpu", t0, self.env.now, node=self.node_id)
 
         # Everything below touches ground truth that concurrent workers may
         # mutate (the target can be unlinked while we wait on disk), so the
@@ -129,17 +143,21 @@ class MdsNode:
             # -- path traversal & permission check (§4.1) -----------------
             if strategy.needs_path_traversal and target is not None:
                 for ancestor in ns.ancestors(target.ino):
-                    yield from self._ensure_cached(ancestor)
+                    yield from self._ensure_cached(ancestor, trace=trace)
 
             # -- Lazy Hybrid / rename-migration deferred work -------------
             if target is not None and strategy.take_pending(target.ino):
+                t0 = self.env.now
                 yield self.env.timeout(2 * self.params.net_hop_s)
                 yield from self._journal_update(target.ino)
+                if trace is not None:
+                    trace.add("lazy.update", t0, self.env.now,
+                              node=self.node_id)
                 self.stats.lazy_updates += 1
 
             # -- bring the target itself into cache ------------------------
             if target is not None:
-                yield from self._ensure_cached(target)
+                yield from self._ensure_cached(target, trace=trace)
 
             # -- apply the operation ----------------------------------------
             touched_ino = yield from self._apply(req, target)
@@ -194,7 +212,11 @@ class MdsNode:
     def _forward(self, req: MdsRequest,
                  authority: int) -> Generator[Event, Any, None]:
         """Pass a misdirected request to its authority (§5.3.3)."""
+        t0 = self.env.now
         yield from self.cpu.use(self.params.cpu_forward_s)
+        if req.trace is not None:
+            req.trace.add("node.forward", t0, self.env.now,
+                          node=self.node_id, detail=f"to={authority}")
         req.hops += 1
         self.stats.record_forward(self.env.now)
         if req.hops > self.params.max_forward_hops:
@@ -207,30 +229,40 @@ class MdsNode:
     # ------------------------------------------------------------------
     # cache management
     # ------------------------------------------------------------------
-    def _ensure_cached(self, inode: Inode) -> Generator[Event, Any, None]:
+    def _ensure_cached(self, inode: Inode,
+                       trace=None) -> Generator[Event, Any, None]:
         """Make sure ``inode`` is in the local cache, fetching if needed."""
         entry = self.cache.get(inode.ino)
         if entry is not None:
             self.stats.record_hit()
+            if trace is not None:
+                trace.bump("cache.hit")
             return
         self.stats.record_miss()
+        if trace is not None:
+            trace.bump("cache.miss")
         if self.cluster.ns.is_orphan(inode.ino):
             # orphans have no path to hash or traverse: the retaining
             # authority (normally us) reloads it directly
-            yield from self._fetch_from_disk(inode)
+            yield from self._fetch_from_disk(inode, trace=trace)
             return
         authority = self.cluster.strategy.authority_of_ino(inode.ino)
         if authority == self.node_id:
-            yield from self._fetch_from_disk(inode)
+            yield from self._fetch_from_disk(inode, trace=trace)
         else:
-            yield from self._fetch_from_peer(inode, authority)
+            yield from self._fetch_from_peer(inode, authority, trace=trace)
 
-    def _fetch_from_disk(self, inode: Inode) -> Generator[Event, Any, None]:
+    def _fetch_from_disk(self, inode: Inode,
+                         trace=None) -> Generator[Event, Any, None]:
         """Load locally-owned metadata from the shared object store."""
         ns = self.cluster.ns
         layout = self.cluster.strategy.layout
+        t0 = self.env.now
         siblings = yield from layout.fetch(self.cluster.object_store, ns,
                                            inode)
+        if trace is not None:
+            trace.add("osd.read", t0, self.env.now, node=self.node_id,
+                      detail=f"ino={inode.ino}")
         self._insert(inode, replica=False)
         if inode.ino not in self.cache:  # pragma: no cover - all-pinned edge
             return
@@ -254,18 +286,26 @@ class MdsNode:
         finally:
             self._notify_evictions(self.cache.unpin(inode.ino))
 
-    def _fetch_from_peer(self, inode: Inode,
-                         authority: int) -> Generator[Event, Any, None]:
+    def _fetch_from_peer(self, inode: Inode, authority: int,
+                         trace=None) -> Generator[Event, Any, None]:
         """Replicate metadata from its authority (prefix fetch, §4.2)."""
+        t0 = self.env.now
+        peer_missed = False
         yield self.env.timeout(self.params.net_hop_s)
         peer = self.cluster.nodes[authority]
         if inode.ino not in peer.cache:
             # the authority must load it before it can hand out a replica
             peer.stats.record_miss()
+            peer_missed = True
             yield from peer._fetch_from_disk(inode)
         else:
             peer.cache.get(inode.ino)  # refresh recency at the authority
         yield self.env.timeout(self.params.net_hop_s)
+        if trace is not None:
+            # the peer's own disk miss (if any) is inside this span
+            trace.add("peer.fetch", t0, self.env.now, node=self.node_id,
+                      detail=f"from={authority}"
+                             + (" peer-miss" if peer_missed else ""))
         self._insert(inode, replica=True)
         peer.replicas.register(inode.ino, self.node_id)
         self.stats.remote_fetches += 1
@@ -309,6 +349,7 @@ class MdsNode:
         ns = self.cluster.ns
         now = self.env.now
         op = req.op
+        trace = req.trace
 
         if op is OpType.READDIR:
             assert target is not None
@@ -317,7 +358,11 @@ class MdsNode:
                 # a fragmented directory's entries are scattered by name
                 # hash; readdir is the one op that must gather from every
                 # node (§4.3) — one parallel round trip
+                t0 = self.env.now
                 yield self.env.timeout(2 * self.params.net_hop_s)
+                if trace is not None:
+                    trace.add("net.gather", t0, self.env.now,
+                              node=self.node_id, detail="fragmented-readdir")
             return target.ino
 
         if op is OpType.OPEN:
@@ -345,20 +390,21 @@ class MdsNode:
                 inode = ns.mkdir(req.path, mode=req.mode or 0, owner=req.uid,
                                  mtime=now)
             self._insert(inode, replica=False)
-            yield from self._journal_update(inode.ino)
-            yield from self._invalidate_replicas(target.ino)  # dir changed
+            yield from self._journal_update(inode.ino, trace=trace)
+            yield from self._invalidate_replicas(target.ino,
+                                                 trace=trace)  # dir changed
             return inode.ino
 
         if op is OpType.LINK:
             assert target is not None and req.dst_path is not None
             inode = ns.link(req.path, req.dst_path, mtime=now)
-            yield from self._journal_update(inode.ino)
-            yield from self._invalidate_replicas(target.ino)
+            yield from self._journal_update(inode.ino, trace=trace)
+            yield from self._invalidate_replicas(target.ino, trace=trace)
             return inode.ino
 
         if op is OpType.UNLINK:
             assert target is not None
-            yield from self._invalidate_replicas(target.ino)
+            yield from self._invalidate_replicas(target.ino, trace=trace)
             still_open = (target.is_file and target.nlink == 1
                           and self._open_refs.get(target.ino, 0) > 0)
             ns.unlink(req.path, mtime=now, retain_inode=still_open)
@@ -370,7 +416,7 @@ class MdsNode:
                 entry = self.cache.get(target.ino, touch=False)
                 if entry is not None and not entry.pinned:
                     self.cache.remove(target.ino)
-            yield from self._journal_update(target.parent_ino)
+            yield from self._journal_update(target.parent_ino, trace=trace)
             return None
 
         if op is OpType.RENAME:
@@ -380,7 +426,7 @@ class MdsNode:
                 raise FsError("no such destination directory")
             dst_authority = self.cluster.strategy.authority_of_ino(
                 dst_parent.ino)
-            yield from self._invalidate_replicas(target.ino)
+            yield from self._invalidate_replicas(target.ino, trace=trace)
             old_path = req.path
             ns.rename(req.path, req.dst_path, mtime=now)
             deferred = self.cluster.strategy.on_rename(target.ino, old_path,
@@ -388,23 +434,27 @@ class MdsNode:
             self.cluster.on_deferred_work(deferred)
             if dst_authority != self.node_id:
                 # renames frequently involve two directories (§4.3)
+                t0 = self.env.now
                 yield self.env.timeout(2 * self.params.net_hop_s)
-            yield from self._journal_update(target.ino)
+                if trace is not None:
+                    trace.add("net.gather", t0, self.env.now,
+                              node=self.node_id, detail="cross-dir-rename")
+            yield from self._journal_update(target.ino, trace=trace)
             return target.ino
 
         if op is OpType.CHMOD:
             assert target is not None
-            yield from self._invalidate_replicas(target.ino)
+            yield from self._invalidate_replicas(target.ino, trace=trace)
             ns.chmod(req.path, req.mode or 0o755, mtime=now)
             deferred = self.cluster.strategy.on_chmod(target.ino)
             self.cluster.on_deferred_work(deferred)
-            yield from self._journal_update(target.ino)
+            yield from self._journal_update(target.ino, trace=trace)
             return target.ino
 
         if op is OpType.SETATTR:
             assert target is not None
             ns.setattr(req.path, size=req.size, mtime=now)
-            yield from self._journal_update(target.ino)
+            yield from self._journal_update(target.ino, trace=trace)
             return target.ino
 
         raise FsError(f"unsupported operation {op}")  # pragma: no cover
@@ -451,9 +501,13 @@ class MdsNode:
         """Distinct inodes with at least one live handle here."""
         return len(self._open_refs)
 
-    def _journal_update(self, ino: int) -> Generator[Event, Any, None]:
+    def _journal_update(self, ino: int,
+                        trace=None) -> Generator[Event, Any, None]:
         """Commit an update to the journal; queue retired entries for tier 2."""
+        t0 = self.env.now
         retired = yield from self.journal.append(ino)
+        if trace is not None:
+            trace.add("journal.append", t0, self.env.now, node=self.node_id)
         self.stats.journal_appends += 1
         self._writeback_buffer.extend(retired)
 
@@ -478,12 +532,17 @@ class MdsNode:
             transactions = yield from layout.writeback_batch(store, ns, live)
             self.stats.tier2_writes += transactions
 
-    def _invalidate_replicas(self, ino: int) -> Generator[Event, Any, None]:
+    def _invalidate_replicas(self, ino: int,
+                             trace=None) -> Generator[Event, Any, None]:
         """Coherence callback: drop peer replicas before mutating (§4.2)."""
         holders = self.replicas.drop_ino(ino)
         if not holders:
             return
+        t0 = self.env.now
         yield self.env.timeout(self.params.net_hop_s)
+        if trace is not None:
+            trace.add("coherence.invalidate", t0, self.env.now,
+                      node=self.node_id, detail=f"holders={len(holders)}")
         for holder in holders:
             peer = self.cluster.nodes[holder]
             entry = peer.cache.get(ino, touch=False)
@@ -519,7 +578,11 @@ class MdsNode:
                 and ino not in self.cluster.hot_inos
                 and ino in ns
                 and now >= self._replication_cooldown.get(ino, 0.0)):
+            t0 = self.env.now
             yield from self._replicate_everywhere(ino)
+            if req.trace is not None:
+                req.trace.add("traffic.replicate", t0, self.env.now,
+                              node=self.node_id, detail=f"ino={ino}")
 
     def _replicate_everywhere(self, ino: int) -> Generator[Event, Any, None]:
         """Push replicas of a suddenly popular item to every node (§4.4)."""

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
-from ..metrics import BucketCounter, DeltaTracker
+from ..metrics import BucketCounter, DeltaTracker, LatencyHistogram
 
 
 @dataclass
@@ -33,10 +33,14 @@ class NodeStats:
     served_by_time: BucketCounter = field(init=False)
     forwards_by_time: BucketCounter = field(init=False)
     deltas: DeltaTracker = field(default_factory=DeltaTracker)
+    #: inbox-queueing delay of every request this node picked up; the load
+    #: balancer reads interval percentiles out of this (not just counts)
+    queue_delay: LatencyHistogram = field(init=False)
 
     def __post_init__(self) -> None:
         self.served_by_time = BucketCounter(self.bucket_width_s)
         self.forwards_by_time = BucketCounter(self.bucket_width_s)
+        self.queue_delay = LatencyHistogram(lo=1e-6, hi=100.0)
 
     # -- recording helpers --------------------------------------------------
     def record_served(self, now: float) -> None:
@@ -48,6 +52,9 @@ class NodeStats:
         self.forwards += 1
         self.forwards_by_time.add(now)
         self.deltas.add("forwards")
+
+    def record_queue_delay(self, delay_s: float) -> None:
+        self.queue_delay.record(delay_s)
 
     def record_hit(self) -> None:
         self.cache_hits += 1

@@ -3,12 +3,16 @@
 from .analysis import (Summary, moving_average, percentile, relative_change,
                        summarize, trim_warmup)
 from .counters import DeltaTracker
+from .histogram import EMPTY_SUMMARY, LatencyHistogram, LatencySummary
 from .report import format_series, format_table
 from .series import BucketCounter, TimeSeries
 
 __all__ = [
     "BucketCounter",
     "DeltaTracker",
+    "EMPTY_SUMMARY",
+    "LatencyHistogram",
+    "LatencySummary",
     "Summary",
     "TimeSeries",
     "format_series",

@@ -123,3 +123,53 @@ def _fmt(value: float) -> str:
     if abs(value) >= 1:
         return f"{value:.1f}"
     return f"{value:.2f}"
+
+
+def render_timeline(spans: Sequence[Tuple[str, float, float]], *,
+                    origin: float = 0.0, width: int = 64,
+                    title: str = "") -> str:
+    """Render (label, start, end) spans as a per-request ASCII timeline.
+
+    One row per span, in the given order; each bar is positioned on a
+    shared time axis starting at ``origin`` (typically the request's
+    submit time).  Durations are annotated in microseconds so the
+    sub-millisecond stages of a cache-hot request stay legible.
+    """
+    spans = list(spans)
+    if not spans:
+        raise ValueError("nothing to render")
+    if width < 16:
+        raise ValueError("timeline too narrow to be legible")
+    t_lo = min(start for _label, start, _end in spans)
+    t_hi = max(end for _label, _start, end in spans)
+    t_lo = min(t_lo, origin)
+    if math.isclose(t_hi, t_lo):
+        t_hi = t_lo + 1e-9
+    span_of = t_hi - t_lo
+
+    def col(t: float) -> int:
+        return round((t - t_lo) / span_of * (width - 1))
+
+    label_width = max(len(label) for label, _s, _e in spans)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, start, end in spans:
+        c0, c1 = col(start), col(end)
+        bar = [" "] * width
+        if c1 == c0:
+            bar[c0] = "|"
+        else:
+            for c in range(c0, c1 + 1):
+                bar[c] = "="
+            bar[c0] = "["
+            bar[c1] = "]"
+        lines.append(f"{label.ljust(label_width)} {''.join(bar)} "
+                     f"{(end - start) * 1e6:9.1f}us")
+    axis_left = _fmt((t_lo - origin) * 1e3)
+    axis_right = _fmt((t_hi - origin) * 1e3)
+    gap = width - len(axis_left) - len(axis_right)
+    lines.append(" " * (label_width + 1) + "-" * width)
+    lines.append(" " * (label_width + 1) + axis_left
+                 + " " * max(1, gap) + axis_right + "  (ms since submit)")
+    return "\n".join(lines)

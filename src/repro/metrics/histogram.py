@@ -1,0 +1,208 @@
+"""Streaming latency histograms with fixed log-spaced buckets.
+
+Per-op-type latency percentiles (p50/p95/p99) have to be available after a
+run without retaining every sample: a paper-scale simulation completes
+millions of requests.  :class:`LatencyHistogram` records each value in O(1)
+into a fixed array of log-spaced buckets — bounded memory, deterministic,
+and mergeable across nodes or runs.  Quantiles interpolate within the
+matched bucket, so relative error is bounded by the bucket width
+(``10**(1/buckets_per_decade)``, under 10% at the default resolution).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Percentile digest of one recorded distribution."""
+
+    count: int
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    min_s: float
+    max_s: float
+
+    def format(self, scale: float = 1e3, unit: str = "ms") -> str:
+        return (f"n={self.count} mean={self.mean_s * scale:.3f}{unit} "
+                f"p50={self.p50_s * scale:.3f}{unit} "
+                f"p95={self.p95_s * scale:.3f}{unit} "
+                f"p99={self.p99_s * scale:.3f}{unit}")
+
+
+EMPTY_SUMMARY = LatencySummary(count=0, mean_s=0.0, p50_s=0.0, p95_s=0.0,
+                               p99_s=0.0, min_s=0.0, max_s=0.0)
+
+
+class LatencyHistogram:
+    """Fixed-bucket log-spaced streaming histogram.
+
+    Bucket ``i`` (1-based) covers ``(lo * r**(i-1), lo * r**i]`` with
+    ``r = 10**(1/buckets_per_decade)``; bucket 0 holds underflow
+    (``<= lo``), the last bucket overflow (``> hi``).  Exact ``min``,
+    ``max``, ``count`` and ``sum`` are tracked on the side, so means are
+    exact and quantiles are clamped to the observed range.
+    """
+
+    __slots__ = ("lo", "hi", "buckets_per_decade", "_log_lo", "_scale",
+                 "_counts", "count", "total", "_min", "_max")
+
+    def __init__(self, lo: float = 1e-6, hi: float = 100.0,
+                 buckets_per_decade: int = 25) -> None:
+        if lo <= 0 or hi <= lo:
+            raise ValueError("need 0 < lo < hi")
+        if buckets_per_decade < 1:
+            raise ValueError("buckets_per_decade must be >= 1")
+        self.lo = lo
+        self.hi = hi
+        self.buckets_per_decade = buckets_per_decade
+        self._log_lo = math.log10(lo)
+        self._scale = float(buckets_per_decade)
+        n_interior = int(math.ceil(
+            (math.log10(hi) - self._log_lo) * buckets_per_decade))
+        # [underflow] + interior + [overflow]
+        self._counts: List[int] = [0] * (n_interior + 2)
+        self.count = 0
+        self.total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # -- recording ---------------------------------------------------------
+    def _index(self, value: float) -> int:
+        if value <= self.lo:
+            return 0
+        if value > self.hi:
+            return len(self._counts) - 1
+        idx = int(math.ceil((math.log10(value) - self._log_lo) * self._scale))
+        return min(max(idx, 1), len(self._counts) - 2)
+
+    def record(self, value: float) -> None:
+        """Add one sample (negative values clamp to zero)."""
+        if value < 0:
+            value = 0.0
+        self._counts[self._index(value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    # -- bucket geometry ---------------------------------------------------
+    def _upper_edge(self, idx: int) -> float:
+        if idx <= 0:
+            return self.lo
+        if idx >= len(self._counts) - 1:
+            return self._max if self.count else self.hi
+        return 10.0 ** (self._log_lo + idx / self._scale)
+
+    def _lower_edge(self, idx: int) -> float:
+        if idx <= 0:
+            return 0.0
+        return self._upper_edge(idx - 1)
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile ``q`` in [0, 1], interpolated within buckets."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for idx, n in enumerate(self._counts):
+            if n == 0:
+                continue
+            if seen + n >= rank:
+                lo = self._lower_edge(idx)
+                hi = self._upper_edge(idx)
+                frac = (rank - seen) / n
+                value = lo + (hi - lo) * frac
+                return min(max(value, self._min), self._max)
+            seen += n
+        return self._max
+
+    def percentile(self, p: float) -> float:
+        """Value at percentile ``p`` in [0, 100]."""
+        return self.quantile(p / 100.0)
+
+    def summary(self) -> LatencySummary:
+        if self.count == 0:
+            return EMPTY_SUMMARY
+        return LatencySummary(
+            count=self.count, mean_s=self.mean,
+            p50_s=self.quantile(0.50), p95_s=self.quantile(0.95),
+            p99_s=self.quantile(0.99), min_s=self.min, max_s=self.max)
+
+    # -- composition -------------------------------------------------------
+    def _check_layout(self, other: "LatencyHistogram") -> None:
+        if (other.lo != self.lo or other.hi != self.hi
+                or other.buckets_per_decade != self.buckets_per_decade):
+            raise ValueError("histogram bucket layouts differ")
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other``'s samples into this histogram (in place)."""
+        self._check_layout(other)
+        for i, n in enumerate(other._counts):
+            self._counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        return self
+
+    def copy(self) -> "LatencyHistogram":
+        clone = LatencyHistogram(self.lo, self.hi, self.buckets_per_decade)
+        clone._counts = list(self._counts)
+        clone.count = self.count
+        clone.total = self.total
+        clone._min = self._min
+        clone._max = self._max
+        return clone
+
+    def subtract(self, baseline: Optional["LatencyHistogram"]
+                 ) -> "LatencyHistogram":
+        """Samples recorded since ``baseline`` (an earlier :meth:`copy`).
+
+        Interval percentiles for a monotonically-growing histogram: the
+        per-bucket difference is itself a histogram.  Exact min/max are not
+        recoverable for the interval, so the result's extremes fall back to
+        its bucket edges.
+        """
+        if baseline is None:
+            return self.copy()
+        self._check_layout(baseline)
+        delta = LatencyHistogram(self.lo, self.hi, self.buckets_per_decade)
+        lo_idx, hi_idx = None, 0
+        for i in range(len(self._counts)):
+            diff = self._counts[i] - baseline._counts[i]
+            if diff < 0:
+                raise ValueError("baseline is not a prefix of this histogram")
+            delta._counts[i] = diff
+            if diff:
+                hi_idx = i
+                if lo_idx is None:
+                    lo_idx = i
+        delta.count = self.count - baseline.count
+        delta.total = self.total - baseline.total
+        if delta.count:
+            delta._min = delta._lower_edge(lo_idx)
+            delta._max = min(delta._upper_edge(hi_idx), self._max)
+        return delta

@@ -1,0 +1,29 @@
+"""Request-level tracing and latency observability.
+
+``repro.obs`` answers "where did this request's time go?" for the
+simulated MDS cluster: sampled requests carry a :class:`Trace` whose
+:class:`Span` s cover every stage of the request path (network hops, inbox
+queueing, CPU, cache misses against OSDs or peers, journal appends,
+coherence callbacks, the reply hop), while *all* requests feed per-op-type
+streaming latency histograms.  See docs/ARCHITECTURE.md ("Observability")
+for the span taxonomy and sampling semantics.
+"""
+
+from .sinks import (JsonlSink, NullSink, RingBufferSink, TeeSink, TraceSink,
+                    export_jsonl, read_jsonl)
+from .span import REPLY_SPANS, Span, Trace
+from .tracer import Tracer
+
+__all__ = [
+    "JsonlSink",
+    "NullSink",
+    "REPLY_SPANS",
+    "RingBufferSink",
+    "Span",
+    "TeeSink",
+    "Trace",
+    "TraceSink",
+    "Tracer",
+    "export_jsonl",
+    "read_jsonl",
+]

@@ -1,0 +1,123 @@
+"""Where finished traces go: ring buffer, JSONL, or nowhere.
+
+Sinks receive each :class:`~repro.obs.span.Trace` exactly once, when the
+client absorbs the reply.  The ring buffer is the in-memory default (tests
+and interactive use); the JSONL sink streams traces to disk for offline
+analysis (one JSON object per line, read back with :func:`read_jsonl`).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Iterable, Iterator, List, Optional, Protocol
+
+from .span import Trace
+
+
+class TraceSink(Protocol):
+    """Anything that can accept finished traces."""
+
+    def emit(self, trace: Trace) -> None: ...
+
+
+class NullSink:
+    """Discards everything (tracing enabled purely for histograms)."""
+
+    def emit(self, trace: Trace) -> None:
+        pass
+
+
+class RingBufferSink:
+    """Keeps the most recent ``capacity`` traces in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._traces: "deque[Trace]" = deque(maxlen=capacity)
+        self.emitted = 0  # total ever emitted (ring may have dropped some)
+
+    def emit(self, trace: Trace) -> None:
+        self._traces.append(trace)
+        self.emitted += 1
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def __iter__(self) -> Iterator[Trace]:
+        return iter(self._traces)
+
+    @property
+    def traces(self) -> List[Trace]:
+        return list(self._traces)
+
+    def clear(self) -> None:
+        self._traces.clear()
+
+
+class JsonlSink:
+    """Appends each finished trace as one JSON line to ``path``.
+
+    The file is opened lazily on first emit and must be closed (or the sink
+    used as a context manager) to guarantee a complete flush.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.emitted = 0
+        self._fp = None
+
+    def emit(self, trace: Trace) -> None:
+        if self._fp is None:
+            self._fp = open(self.path, "w", encoding="utf-8")
+        json.dump(trace.to_dict(), self._fp, separators=(",", ":"))
+        self._fp.write("\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._fp is not None:
+            self._fp.close()
+            self._fp = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class TeeSink:
+    """Fans each trace out to several sinks (e.g. ring buffer + JSONL)."""
+
+    def __init__(self, *sinks: TraceSink) -> None:
+        self.sinks = list(sinks)
+
+    def emit(self, trace: Trace) -> None:
+        for sink in self.sinks:
+            sink.emit(trace)
+
+
+def export_jsonl(traces: Iterable[Trace], path: str) -> int:
+    """Write ``traces`` to ``path`` as JSONL; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fp:
+        for trace in traces:
+            json.dump(trace.to_dict(), fp, separators=(",", ":"))
+            fp.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str, limit: Optional[int] = None) -> List[Trace]:
+    """Load traces back from a JSONL export."""
+    out: List[Trace] = []
+    with open(path, "r", encoding="utf-8") as fp:
+        for line in fp:
+            line = line.strip()
+            if not line:
+                continue
+            out.append(Trace.from_dict(json.loads(line)))
+            if limit is not None and len(out) >= limit:
+                break
+    return out

@@ -1,0 +1,156 @@
+"""Spans and traces: where one request's simulated time goes.
+
+A :class:`Trace` rides an :class:`~repro.mds.messages.MdsRequest` through
+the cluster; each stage that consumes simulated time appends a completed
+:class:`Span`.  Spans of one trace are disjoint in time (the request is in
+exactly one stage at any instant), so their durations sum to the observed
+client latency up to the network-hop granularity of the model.
+
+Span taxonomy (the ``name`` field):
+
+=====================  ====================================================
+``net.hop``            one network traversal toward an MDS (submit,
+                       forward, or failover bounce)
+``node.queue``         waiting in a node's inbox for a free worker
+``node.cpu``           request processing CPU (includes CPU queueing)
+``node.forward``       CPU to receive-and-forward a misdirected request
+``osd.read``           cache-miss fetch from the shared object store
+                       (directory-grain reads prefetch siblings, §4.5)
+``peer.fetch``         remote prefix/replica fetch from the authority
+                       (§4.2); the peer's own disk miss is inside this span
+``journal.append``     bounded-log commit of a mutation (§4.6)
+``coherence.invalidate``  replica-invalidation callbacks before a mutation
+``lazy.update``        Lazy Hybrid deferred-update applied on access
+``net.gather``         cross-node gather (fragmented readdir, two-directory
+                       rename)
+``traffic.replicate``  traffic-control replica broadcast (§4.4)
+``net.reply``          the reply's network traversal back to the client
+=====================  ====================================================
+
+Counters that take no simulated time (cache hits during traversal) land in
+:attr:`Trace.notes` instead of producing zero-width spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Span names that are not part of the server-side service time: the reply
+#: hop happens after the serving node stamped the request's latency.
+REPLY_SPANS = frozenset({"net.reply"})
+
+
+@dataclass
+class Span:
+    """One timestamped stage of a request's journey."""
+
+    name: str
+    start_s: float
+    end_s: float
+    node: Optional[int] = None
+    detail: Optional[str] = None
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def to_dict(self) -> dict:
+        out = {"name": self.name, "start_s": self.start_s,
+               "end_s": self.end_s}
+        if self.node is not None:
+            out["node"] = self.node
+        if self.detail is not None:
+            out["detail"] = self.detail
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        return cls(name=data["name"], start_s=data["start_s"],
+                   end_s=data["end_s"], node=data.get("node"),
+                   detail=data.get("detail"))
+
+
+@dataclass
+class Trace:
+    """Every span one sampled request opened, client submit to reply."""
+
+    trace_id: int
+    op: str
+    path: str
+    client_id: int
+    submitted_at: float
+    completed_at: float = 0.0
+    ok: bool = True
+    spans: List[Span] = field(default_factory=list)
+    #: zero-cost event counters (e.g. ``cache.hit`` during traversal)
+    notes: Dict[str, int] = field(default_factory=dict)
+
+    # -- recording (hot path: called from inside the simulation) ----------
+    def add(self, name: str, start_s: float, end_s: float,
+            node: Optional[int] = None, detail: Optional[str] = None) -> None:
+        self.spans.append(Span(name, start_s, end_s, node, detail))
+
+    def bump(self, key: str, by: int = 1) -> None:
+        self.notes[key] = self.notes.get(key, 0) + by
+
+    # -- accounting --------------------------------------------------------
+    @property
+    def latency_s(self) -> float:
+        """Client-observed latency: submit to reply arrival."""
+        return self.completed_at - self.submitted_at
+
+    @property
+    def span_sum_s(self) -> float:
+        """Total time attributed to spans (including the reply hop)."""
+        return sum(span.duration_s for span in self.spans)
+
+    @property
+    def unaccounted_s(self) -> float:
+        """Latency the spans do not explain (should be ~0)."""
+        return self.latency_s - self.span_sum_s
+
+    def by_stage(self) -> Dict[str, float]:
+        """Total duration per span name, insertion-ordered."""
+        out: Dict[str, float] = {}
+        for span in self.spans:
+            out[span.name] = out.get(span.name, 0.0) + span.duration_s
+        return out
+
+    # -- presentation ------------------------------------------------------
+    def render(self, width: int = 64) -> str:
+        """ASCII timeline of this request (one row per span)."""
+        from ..metrics.asciichart import render_timeline
+
+        rows = [(f"{s.name}" + (f"@{s.node}" if s.node is not None else ""),
+                 s.start_s, s.end_s) for s in self.spans]
+        title = (f"trace {self.trace_id}: {self.op} {self.path} "
+                 f"client={self.client_id} "
+                 f"latency={self.latency_s * 1e3:.3f}ms "
+                 f"{'ok' if self.ok else 'ERROR'}")
+        return render_timeline(rows, origin=self.submitted_at,
+                               width=width, title=title)
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "op": self.op,
+            "path": self.path,
+            "client_id": self.client_id,
+            "submitted_at": self.submitted_at,
+            "completed_at": self.completed_at,
+            "ok": self.ok,
+            "latency_s": self.latency_s,
+            "spans": [span.to_dict() for span in self.spans],
+            "notes": dict(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Trace":
+        return cls(
+            trace_id=data["trace_id"], op=data["op"], path=data["path"],
+            client_id=data["client_id"], submitted_at=data["submitted_at"],
+            completed_at=data["completed_at"], ok=data["ok"],
+            spans=[Span.from_dict(s) for s in data.get("spans", ())],
+            notes=dict(data.get("notes", {})))

@@ -1,0 +1,92 @@
+"""The tracer: sampling decisions, trace lifecycle, latency histograms.
+
+One :class:`Tracer` serves a whole simulation.  It makes two independent
+measurements:
+
+* **Latency histograms** — every completed request, sampled or not, lands
+  in a per-op-type :class:`~repro.metrics.histogram.LatencyHistogram`
+  (O(1) per request), so p50/p95/p99 are always available.
+* **Span traces** — a ``sample_rate`` fraction of requests carry a
+  :class:`~repro.obs.span.Trace` that stages along the request path append
+  spans to.  At 0.0 (the default) :meth:`maybe_trace` returns ``None``
+  without consuming randomness, so the hot path stays cheap and the
+  simulation's event ordering is bit-identical to an untraced run.
+
+Sampling uses a private seeded RNG — deterministic across runs and fully
+separate from the simulation's own streams, so changing the sample rate
+never perturbs workload randomness.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from ..metrics.histogram import LatencyHistogram, LatencySummary
+from .sinks import NullSink, TraceSink
+from .span import Trace
+
+
+def _op_name(op) -> str:
+    """Accept an OpType enum or a plain string without importing mds."""
+    return getattr(op, "value", None) or str(op)
+
+
+class Tracer:
+    """Per-simulation tracing front-end."""
+
+    def __init__(self, sample_rate: float = 0.0,
+                 sink: Optional[TraceSink] = None, seed: int = 0) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in [0, 1], got {sample_rate}")
+        self.sample_rate = sample_rate
+        self.sink: TraceSink = sink if sink is not None else NullSink()
+        # xor with a constant so tracer decisions never mirror any workload
+        # stream that happens to share the config seed
+        self._rng = random.Random(seed ^ 0x0B5E7FED)
+        self.latency_by_op: Dict[str, LatencyHistogram] = {}
+        self.latency_overall = LatencyHistogram()
+        self.started = 0
+        self.finished = 0
+        self._next_id = 0
+
+    # -- span tracing ------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self.sample_rate > 0.0
+
+    def maybe_trace(self, op, path, client_id: int,
+                    now: float) -> Optional[Trace]:
+        """A new :class:`Trace` for this request, or ``None`` (unsampled)."""
+        rate = self.sample_rate
+        if rate <= 0.0:
+            return None
+        if rate < 1.0 and self._rng.random() >= rate:
+            return None
+        self._next_id += 1
+        self.started += 1
+        return Trace(trace_id=self._next_id, op=_op_name(op), path=str(path),
+                     client_id=client_id, submitted_at=now)
+
+    def finish(self, trace: Trace, now: float, ok: bool) -> None:
+        """Seal a trace at reply arrival and hand it to the sink."""
+        trace.completed_at = now
+        trace.ok = ok
+        self.finished += 1
+        self.sink.emit(trace)
+
+    # -- latency histograms ------------------------------------------------
+    def record_latency(self, op, seconds: float) -> None:
+        """Record one completed request (always, independent of sampling)."""
+        name = _op_name(op)
+        hist = self.latency_by_op.get(name)
+        if hist is None:
+            hist = self.latency_by_op[name] = LatencyHistogram()
+        hist.record(seconds)
+        self.latency_overall.record(seconds)
+
+    def latency_summaries(self) -> Dict[str, LatencySummary]:
+        """Per-op-type percentile digests, op name -> summary."""
+        return {name: hist.summary()
+                for name, hist in sorted(self.latency_by_op.items())}

@@ -5,6 +5,9 @@ import pytest
 from repro.clients import (FlashCrowdWorkload, GeneralWorkload,
                            ScientificWorkload, ShiftingWorkload)
 from repro.experiments import ExperimentConfig, build_simulation
+from repro.experiments._build import (_flash_target, _make_workload,
+                                      _size_cache)
+from repro.namespace import path as pathmod
 
 
 def small(workload="general", **kw):
@@ -53,6 +56,71 @@ def test_workload_kinds():
 def test_unknown_workload_rejected():
     with pytest.raises(ValueError, match="unknown workload"):
         build_simulation(small("nope"))
+
+
+def test_make_workload_rejects_unknown_kind_directly():
+    sim = build_simulation(small())
+    with pytest.raises(ValueError, match="unknown workload kind 'bogus'"):
+        _make_workload(small().replace(workload="bogus"), sim.ns,
+                       sim.snapshot)
+
+
+class TestSizeCache:
+    def test_fraction_takes_precedence_over_absolute(self):
+        cfg = small(cache_fraction=0.5, cache_capacity_per_mds=7)
+        params = _size_cache(cfg, total_metadata=1000)
+        assert params.cache_capacity == 500  # fraction wins
+
+    def test_fraction_applies_floor_of_16(self):
+        cfg = small(cache_fraction=0.001, cache_capacity_per_mds=None)
+        params = _size_cache(cfg, total_metadata=100)
+        assert params.cache_capacity == 16
+
+    def test_absolute_capacity_used_when_no_fraction(self):
+        cfg = small(cache_fraction=None, cache_capacity_per_mds=77)
+        params = _size_cache(cfg, total_metadata=10_000)
+        assert params.cache_capacity == 77
+        assert params.journal_capacity == 77
+
+    def test_neither_set_returns_params_untouched(self):
+        cfg = small(cache_fraction=None, cache_capacity_per_mds=None)
+        assert _size_cache(cfg, total_metadata=10_000) is cfg.params
+
+
+class TestFlashTarget:
+    def test_picks_lexicographically_last_file_child(self):
+        sim = build_simulation(small("flash"))
+        root = sim.snapshot.user_roots[-1]
+        node = sim.ns.resolve(root)
+        file_names = sorted(
+            name for name, ino in node.children.items()
+            if sim.ns.inode(ino).is_file)
+        assert file_names, "fixture root should have file children"
+        expected = pathmod.join(root, file_names[-1])
+        assert _flash_target(sim.ns, sim.snapshot) == expected
+
+    def test_choice_ignores_dict_insertion_order(self):
+        # reversing children's insertion order must not change the target
+        sim = build_simulation(small("flash"))
+        root = sim.snapshot.user_roots[-1]
+        node = sim.ns.resolve(root)
+        before = _flash_target(sim.ns, sim.snapshot)
+        items = list(node.children.items())
+        node.children.clear()
+        node.children.update(reversed(items))
+        assert _flash_target(sim.ns, sim.snapshot) == before
+
+    def test_creates_synthetic_file_when_root_has_none(self):
+        sim = build_simulation(small())
+        root = sim.snapshot.user_roots[-1]
+        node = sim.ns.resolve(root)
+        doomed = [name for name, ino in node.children.items()
+                  if sim.ns.inode(ino).is_file]
+        for name in doomed:
+            sim.ns.unlink(pathmod.join(root, name))
+        target = _flash_target(sim.ns, sim.snapshot)
+        assert target == pathmod.join(root, "hotfile.dat")
+        assert sim.ns.resolve(target).is_file
 
 
 def test_shifting_victims_belong_to_victim_node():

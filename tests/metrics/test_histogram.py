@@ -1,0 +1,151 @@
+"""Tests for the streaming log-bucket latency histogram."""
+
+import random
+
+import pytest
+
+from repro.metrics import EMPTY_SUMMARY, LatencyHistogram, LatencySummary
+
+
+def test_empty_histogram_reports_zeros():
+    h = LatencyHistogram()
+    assert h.count == 0
+    assert h.mean == 0.0
+    assert h.quantile(0.5) == 0.0
+    assert h.summary() is EMPTY_SUMMARY
+
+
+def test_single_sample_all_quantiles_equal_it():
+    h = LatencyHistogram()
+    h.record(0.0042)
+    for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+        assert h.quantile(q) == pytest.approx(0.0042)
+    s = h.summary()
+    assert s.count == 1
+    assert s.min_s == s.max_s == pytest.approx(0.0042)
+
+
+def test_mean_is_exact_not_bucketed():
+    h = LatencyHistogram()
+    for v in (0.001, 0.002, 0.003):
+        h.record(v)
+    assert h.mean == pytest.approx(0.002)
+    assert h.total == pytest.approx(0.006)
+
+
+def test_quantiles_within_bucket_relative_error():
+    rng = random.Random(7)
+    samples = sorted(rng.uniform(1e-4, 1.0) for _ in range(5000))
+    h = LatencyHistogram()
+    for v in samples:
+        h.record(v)
+    # bucket width bounds the relative error at default resolution
+    rel = 10 ** (1 / h.buckets_per_decade) - 1
+    for q in (0.50, 0.95, 0.99):
+        exact = samples[int(q * (len(samples) - 1))]
+        assert h.quantile(q) == pytest.approx(exact, rel=2 * rel)
+
+
+def test_quantiles_clamped_to_observed_range():
+    h = LatencyHistogram()
+    h.record(0.5)
+    h.record(0.6)
+    assert h.quantile(0.0) >= 0.5
+    assert h.quantile(1.0) <= 0.6
+
+
+def test_negative_samples_clamp_to_zero():
+    h = LatencyHistogram()
+    h.record(-1.0)
+    assert h.count == 1
+    assert h.min == 0.0
+
+
+def test_overflow_and_underflow_buckets():
+    h = LatencyHistogram(lo=1e-3, hi=1.0)
+    h.record(1e-9)   # underflow
+    h.record(50.0)   # overflow
+    assert h.count == 2
+    assert h.min == pytest.approx(1e-9)
+    assert h.max == pytest.approx(50.0)
+    assert h.quantile(1.0) == pytest.approx(50.0)
+
+
+def test_merge_matches_recording_everything_in_one():
+    a, b, both = LatencyHistogram(), LatencyHistogram(), LatencyHistogram()
+    rng = random.Random(3)
+    for _ in range(500):
+        v = rng.expovariate(100.0)
+        (a if rng.random() < 0.5 else b).record(v)
+        both.record(v)
+    a.merge(b)
+    assert a.count == both.count
+    assert a.mean == pytest.approx(both.mean)
+    for q in (0.5, 0.95, 0.99):
+        assert a.quantile(q) == pytest.approx(both.quantile(q))
+
+
+def test_merge_rejects_different_layouts():
+    with pytest.raises(ValueError, match="layouts differ"):
+        LatencyHistogram().merge(LatencyHistogram(lo=1e-3))
+
+
+def test_copy_is_independent():
+    h = LatencyHistogram()
+    h.record(0.01)
+    c = h.copy()
+    c.record(0.02)
+    assert h.count == 1
+    assert c.count == 2
+
+
+def test_subtract_gives_interval_histogram():
+    h = LatencyHistogram()
+    for _ in range(100):
+        h.record(0.001)
+    baseline = h.copy()
+    for _ in range(50):
+        h.record(0.1)
+    delta = h.subtract(baseline)
+    assert delta.count == 50
+    # all interval samples were ~0.1s, none of the 0.001s baseline
+    assert delta.quantile(0.5) == pytest.approx(0.1, rel=0.15)
+    assert h.count == 150  # subtract does not mutate
+
+
+def test_subtract_none_baseline_is_copy():
+    h = LatencyHistogram()
+    h.record(0.5)
+    d = h.subtract(None)
+    assert d.count == 1
+    d.record(0.5)
+    assert h.count == 1
+
+
+def test_subtract_rejects_non_prefix_baseline():
+    h = LatencyHistogram()
+    h.record(0.001)
+    later = h.copy()
+    later.record(0.002)
+    with pytest.raises(ValueError, match="not a prefix"):
+        h.subtract(later)
+
+
+def test_quantile_validates_range():
+    with pytest.raises(ValueError):
+        LatencyHistogram().quantile(1.5)
+
+
+def test_percentile_is_quantile_alias():
+    h = LatencyHistogram()
+    for v in (0.001, 0.002, 0.003, 0.004):
+        h.record(v)
+    assert h.percentile(95) == h.quantile(0.95)
+
+
+def test_summary_format_mentions_percentiles():
+    s = LatencySummary(count=3, mean_s=0.002, p50_s=0.002, p95_s=0.003,
+                       p99_s=0.003, min_s=0.001, max_s=0.003)
+    text = s.format()
+    assert "p50=2.000ms" in text
+    assert "p99=3.000ms" in text

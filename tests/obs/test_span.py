@@ -1,0 +1,163 @@
+"""Unit tests for spans, traces, sinks and the tracer front-end."""
+
+import pytest
+
+from repro.obs import (JsonlSink, NullSink, RingBufferSink, Span, TeeSink,
+                       Trace, Tracer, export_jsonl, read_jsonl)
+
+
+def make_trace(trace_id=1):
+    t = Trace(trace_id=trace_id, op="stat", path="/home/u1/f", client_id=3,
+              submitted_at=1.0)
+    t.add("net.hop", 1.0, 1.0002, node=0)
+    t.add("node.queue", 1.0002, 1.0002, node=0)
+    t.add("node.cpu", 1.0002, 1.0005, node=0)
+    t.add("osd.read", 1.0005, 1.0105, node=0, detail="dir-grain")
+    t.add("net.reply", 1.0105, 1.0107, node=0)
+    t.bump("cache.hit", 2)
+    t.completed_at = 1.0107
+    return t
+
+
+class TestTraceAccounting:
+    def test_latency_is_submit_to_reply(self):
+        t = make_trace()
+        assert t.latency_s == pytest.approx(0.0107)
+
+    def test_span_sum_covers_latency(self):
+        t = make_trace()
+        assert t.span_sum_s == pytest.approx(t.latency_s)
+        assert t.unaccounted_s == pytest.approx(0.0, abs=1e-12)
+
+    def test_by_stage_totals_per_name(self):
+        t = make_trace()
+        t.add("net.hop", 1.011, 1.0112)  # second hop
+        stages = t.by_stage()
+        assert stages["net.hop"] == pytest.approx(0.0004)
+        assert stages["osd.read"] == pytest.approx(0.01)
+
+    def test_bump_accumulates_notes(self):
+        t = make_trace()
+        t.bump("cache.hit")
+        assert t.notes["cache.hit"] == 3
+
+    def test_span_duration(self):
+        s = Span("x", 2.0, 2.5)
+        assert s.duration_s == pytest.approx(0.5)
+
+
+class TestSerialization:
+    def test_round_trip_preserves_everything(self):
+        t = make_trace()
+        back = Trace.from_dict(t.to_dict())
+        assert back.op == t.op
+        assert back.client_id == t.client_id
+        assert len(back.spans) == len(t.spans)
+        assert back.spans[3].detail == "dir-grain"
+        assert back.notes == t.notes
+        assert back.latency_s == pytest.approx(t.latency_s)
+
+    def test_jsonl_export_and_read(self, tmp_path):
+        path = str(tmp_path / "traces.jsonl")
+        traces = [make_trace(i) for i in range(5)]
+        assert export_jsonl(traces, path) == 5
+        back = read_jsonl(path)
+        assert [t.trace_id for t in back] == [0, 1, 2, 3, 4]
+        assert read_jsonl(path, limit=2)[-1].trace_id == 1
+
+    def test_jsonl_sink_streams(self, tmp_path):
+        path = str(tmp_path / "stream.jsonl")
+        with JsonlSink(path) as sink:
+            sink.emit(make_trace(1))
+            sink.emit(make_trace(2))
+        assert sink.emitted == 2
+        assert len(read_jsonl(path)) == 2
+
+
+class TestSinks:
+    def test_ring_buffer_keeps_most_recent(self):
+        sink = RingBufferSink(capacity=3)
+        for i in range(10):
+            sink.emit(make_trace(i))
+        assert sink.emitted == 10
+        assert len(sink) == 3
+        assert [t.trace_id for t in sink.traces] == [7, 8, 9]
+
+    def test_ring_buffer_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(0)
+
+    def test_tee_fans_out(self):
+        a, b = RingBufferSink(), RingBufferSink()
+        TeeSink(a, b).emit(make_trace())
+        assert len(a) == 1 and len(b) == 1
+
+    def test_null_sink_discards(self):
+        NullSink().emit(make_trace())  # must not raise
+
+
+class TestTracer:
+    def test_rate_zero_never_traces_and_uses_no_rng(self):
+        tr = Tracer(sample_rate=0.0, seed=1)
+        state = tr._rng.getstate()
+        for _ in range(100):
+            assert tr.maybe_trace("stat", "/p", 0, 0.0) is None
+        assert tr._rng.getstate() == state  # event-order neutrality
+        assert not tr.enabled
+
+    def test_rate_one_traces_everything(self):
+        tr = Tracer(sample_rate=1.0, sink=RingBufferSink(), seed=1)
+        ids = [tr.maybe_trace("stat", "/p", 0, 0.0).trace_id
+               for _ in range(10)]
+        assert ids == list(range(1, 11))
+        assert tr.started == 10
+
+    def test_fractional_rate_is_deterministic(self):
+        def decisions(seed):
+            tr = Tracer(sample_rate=0.3, seed=seed)
+            return [tr.maybe_trace("stat", "/p", 0, 0.0) is not None
+                    for _ in range(200)]
+
+        a = decisions(5)
+        assert a == decisions(5)
+        assert 20 < sum(a) < 120  # roughly 30%
+        assert a != decisions(6)
+
+    def test_finish_seals_and_emits(self):
+        sink = RingBufferSink()
+        tr = Tracer(sample_rate=1.0, sink=sink, seed=0)
+        t = tr.maybe_trace("open", "/f", 2, 1.0)
+        tr.finish(t, now=1.5, ok=False)
+        assert sink.traces[0].completed_at == 1.5
+        assert not sink.traces[0].ok
+        assert tr.finished == 1
+
+    def test_latency_histograms_always_record(self):
+        tr = Tracer(sample_rate=0.0)
+        tr.record_latency("stat", 0.001)
+        tr.record_latency("stat", 0.002)
+        tr.record_latency("open", 0.005)
+        summaries = tr.latency_summaries()
+        assert summaries["stat"].count == 2
+        assert summaries["open"].count == 1
+        assert tr.latency_overall.count == 3
+
+    def test_op_enum_values_accepted(self):
+        from repro.mds import OpType
+
+        tr = Tracer(sample_rate=1.0, seed=0)
+        t = tr.maybe_trace(OpType.STAT, "/p", 0, 0.0)
+        assert t.op == OpType.STAT.value
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+
+
+class TestRender:
+    def test_timeline_mentions_each_span_and_title(self):
+        text = make_trace().render()
+        assert "trace 1: stat" in text
+        assert "osd.read@0" in text
+        assert "net.reply@0" in text
+        assert "ms since submit" in text

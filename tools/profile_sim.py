@@ -18,7 +18,7 @@ import pstats
 import sys
 import time
 
-from repro.experiments import run_steady_state, scaling_config
+from repro.api import run_steady_state, scaling_config
 
 
 def main(argv=None) -> int:
