@@ -8,6 +8,12 @@ same series the paper plots, and asserts the qualitative shape.
 ``REPRO_SCALE`` (default 0.5 here) trades fidelity for wall time; the
 shape assertions are written to hold from 0.4 upward — below that the
 simulated systems are too small for the paper's contrasts to bind.
+
+Figure sweeps are submitted through :mod:`repro.parallel`, which fans
+independent configs across worker processes on multi-core hosts.  Set
+``REPRO_PARALLEL=0`` to force serial execution (results are bit-identical
+either way; only wall time changes) or ``REPRO_PARALLEL=<n>`` to pin the
+worker count.
 """
 
 import os

@@ -17,8 +17,13 @@ Three layers, lowest first:
 * ``run_experiment(config) -> RunResult`` — build, run to completion,
   return aggregated stats plus collected traces; optionally export the
   traces as JSONL.
+* ``run_many(configs)`` / ``run_many_timeline(configs)`` — fan a whole
+  sweep of independent configs across worker processes with input-order,
+  bit-identical-to-serial result assembly (``REPRO_PARALLEL=0`` forces
+  serial; a failed config yields a ``TaskError`` in its slot).
 * the figure drivers (``fig2`` … ``fig7``, ``run_steady_state``,
-  ``run_timeline``) — the paper's evaluation, re-exported unchanged.
+  ``run_timeline``) — the paper's evaluation, now submitting their sweeps
+  through ``run_many``.
 
 Deep imports of ``repro.experiments.builder`` are deprecated; that path
 still works but warns.
@@ -43,6 +48,8 @@ from .mds import SimParams
 from .metrics import LatencyHistogram, LatencySummary
 from .obs import (JsonlSink, RingBufferSink, Span, Trace, Tracer,
                   export_jsonl, read_jsonl)
+from .parallel import (SweepError, TaskError, require_ok, run_many,
+                       run_many_timeline)
 
 
 @dataclass
@@ -91,6 +98,12 @@ __all__ = [
     # one-call running
     "RunResult",
     "run_experiment",
+    # parallel sweep execution
+    "SweepError",
+    "TaskError",
+    "require_ok",
+    "run_many",
+    "run_many_timeline",
     # typed summaries
     "ClusterSummary",
     "LatencyHistogram",

@@ -6,8 +6,10 @@ Internal module: the public import surface is :mod:`repro.api` (the old
 
 from __future__ import annotations
 
+import copy
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..clients import (Client, FlashCrowdSpec, FlashCrowdWorkload,
                        GeneralWorkload, GeneralWorkloadSpec, SCALING_MIX,
@@ -67,16 +69,82 @@ class Simulation:
         return self.tracer.sink.traces
 
 
+# ---------------------------------------------------------------------------
+# Namespace-snapshot memo
+#
+# Snapshot generation is a pure function of (seed, SnapshotSpec): it draws
+# only from the "snapshot.*" named RNG streams, which nothing else in a run
+# reads, and every stream is derived statelessly from (seed, name).  A sweep
+# whose configs share (scale, snapshot seed) therefore regenerates the exact
+# same tree over and over.  When the memo is enabled — sweep workers turn it
+# on; plain ``build_simulation`` calls leave it off — the pristine generated
+# tree is cached per key and each run receives a deep copy, which is
+# bit-identical to regenerating (enforced by the serial/parallel equivalence
+# tests).
+# ---------------------------------------------------------------------------
+_SnapshotKey = Tuple[int, SnapshotSpec]
+_SNAPSHOT_MEMO: Dict[_SnapshotKey, Tuple[Namespace, SnapshotStats]] = {}
+_SNAPSHOT_MEMO_MAX = 8
+_snapshot_memo_enabled = False
+
+
+def enable_snapshot_memo(enabled: bool = True) -> None:
+    """Turn the per-process snapshot memo on or off (off clears it)."""
+    global _snapshot_memo_enabled
+    _snapshot_memo_enabled = bool(enabled)
+    if not enabled:
+        _SNAPSHOT_MEMO.clear()
+
+
+def snapshot_memo_enabled() -> bool:
+    return _snapshot_memo_enabled
+
+
+@contextmanager
+def snapshot_memo(enabled: bool = True):
+    """Scoped snapshot-memo switch; restores the previous state on exit.
+
+    Cached trees are kept across uses (the memo is bounded); only an
+    explicit ``enable_snapshot_memo(False)`` clears them.
+    """
+    global _snapshot_memo_enabled
+    prev = _snapshot_memo_enabled
+    _snapshot_memo_enabled = bool(enabled)
+    try:
+        yield
+    finally:
+        _snapshot_memo_enabled = prev
+
+
+def _make_snapshot(config: ExperimentConfig,
+                   streams: RngStreams) -> Tuple[Namespace, SnapshotStats]:
+    spec = SnapshotSpec(n_users=config.n_users,
+                        files_per_user=config.n_files_per_user,
+                        shared_tree_files=config.shared_tree_files)
+    if not _snapshot_memo_enabled:
+        ns = Namespace()
+        return ns, generate_snapshot(ns, spec, streams)
+    key: _SnapshotKey = (config.seed, spec)
+    cached = _SNAPSHOT_MEMO.get(key)
+    if cached is None:
+        ns = Namespace()
+        # Generate from a fresh stream factory so the memo entry does not
+        # depend on the caller's stream state; named streams are derived
+        # purely from (seed, name), so the tree is identical either way.
+        snapshot = generate_snapshot(ns, spec, RngStreams(config.seed))
+        while len(_SNAPSHOT_MEMO) >= _SNAPSHOT_MEMO_MAX:
+            _SNAPSHOT_MEMO.pop(next(iter(_SNAPSHOT_MEMO)))
+        _SNAPSHOT_MEMO[key] = (ns, snapshot)
+        cached = (ns, snapshot)
+    return copy.deepcopy(cached)
+
+
 def build_simulation(config: ExperimentConfig) -> Simulation:
     """Construct namespace, cluster, clients and tracer per the config."""
     env = Environment()
     streams = RngStreams(config.seed)
 
-    ns = Namespace()
-    spec = SnapshotSpec(n_users=config.n_users,
-                        files_per_user=config.n_files_per_user,
-                        shared_tree_files=config.shared_tree_files)
-    snapshot = generate_snapshot(ns, spec, streams)
+    ns, snapshot = _make_snapshot(config, streams)
 
     strategy = make_strategy(config.strategy, config.n_mds)
     strategy.bind(ns)

@@ -77,6 +77,12 @@ class ExperimentConfig:
     params: SimParams = field(default_factory=SimParams)
     scale: float = 1.0
 
+    # sweep execution: None lets repro.parallel decide (REPRO_PARALLEL /
+    # auto); False forces any sweep containing this config to run serially
+    # in-process (debugging, CI reproducibility).  Never affects results —
+    # serial and parallel runs are bit-identical by contract.
+    parallel: Optional[bool] = None
+
     # -- derived ------------------------------------------------------------
     @property
     def n_users(self) -> int:

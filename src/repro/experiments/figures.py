@@ -133,8 +133,22 @@ def scaling_config(strategy: str, n_mds: int, scale: float,
 
 
 def _averaged_steady(configs: List[ExperimentConfig]) -> SteadyStateResult:
-    """Run several seeds of one configuration and average the aggregates."""
-    results = [run_steady_state(c) for c in configs]
+    """Run several seeds of one configuration and average the aggregates.
+
+    The configs are submitted through :mod:`repro.parallel` (imported
+    lazily: the executor's canonical tasks live in the runner module, so a
+    module-level import here would be circular), which fans them across
+    worker processes unless ``REPRO_PARALLEL`` or the configs force serial
+    mode.  Results are identical either way.
+    """
+    from ..parallel import require_ok, run_many
+
+    return _average_results(
+        require_ok(run_many(configs, task=run_steady_state)))
+
+
+def _average_results(results: List[SteadyStateResult]) -> SteadyStateResult:
+    """Average the aggregates of several seeds of one configuration."""
     n = len(results)
     first = results[0]
     return SteadyStateResult(
@@ -160,17 +174,22 @@ def _scaling_sweep(scale: float, seeds: int,
                    sizes: Optional[List[int]] = None,
                    progress: Optional[Callable[[str], None]] = None,
                    ) -> Dict[str, Dict[int, SteadyStateResult]]:
+    from ..parallel import require_ok, run_many
+
     strategies = strategies or strategy_names()
     sizes = sizes or _sizes_for(scale)
+    # One flat submission for the whole sweep: strategies × sizes × seeds
+    # tasks fan out together instead of one seed-batch at a time.
+    cells = [(name, n_mds) for name in strategies for n_mds in sizes]
+    configs = [scaling_config(name, n_mds, scale, seed=42 + 7 * s)
+               for name, n_mds in cells for s in range(seeds)]
+    flat = require_ok(run_many(configs, task=run_steady_state))
     out: Dict[str, Dict[int, SteadyStateResult]] = {}
-    for name in strategies:
-        out[name] = {}
-        for n_mds in sizes:
-            configs = [scaling_config(name, n_mds, scale, seed=42 + 7 * s)
-                       for s in range(seeds)]
-            out[name][n_mds] = _averaged_steady(configs)
-            if progress:
-                progress(f"{name} n_mds={n_mds} done")
+    for j, (name, n_mds) in enumerate(cells):
+        out.setdefault(name, {})[n_mds] = _average_results(
+            flat[j * seeds:(j + 1) * seeds])
+        if progress:
+            progress(f"{name} n_mds={n_mds} done")
     return out
 
 
@@ -236,19 +255,21 @@ def fig4(scale: float = 0.5, n_mds: int = 8, seeds: int = 1,
          fractions: Optional[List[float]] = None,
          progress: Optional[Callable[[str], None]] = None) -> FigureResult:
     """Cache hit rate as a function of per-node cache size / total metadata."""
+    from ..parallel import require_ok, run_many
+
     fractions = fractions or [0.05, 0.1, 0.2, 0.3, 0.45, 0.6]
+    cells = [(name, frac) for name in strategy_names() for frac in fractions]
+    configs = [scaling_config(name, n_mds, scale, seed=42 + 7 * s,
+                              cache_capacity_per_mds=None,
+                              cache_fraction=frac)
+               for name, frac in cells for s in range(seeds)]
+    flat = require_ok(run_many(configs, task=run_steady_state))
     results: Dict[str, List[float]] = {}
-    for name in strategy_names():
-        results[name] = []
-        for frac in fractions:
-            configs = [
-                scaling_config(name, n_mds, scale, seed=42 + 7 * s,
-                               cache_capacity_per_mds=None,
-                               cache_fraction=frac)
-                for s in range(seeds)]
-            results[name].append(_averaged_steady(configs).hit_rate)
-            if progress:
-                progress(f"{name} fraction={frac} done")
+    for j, (name, frac) in enumerate(cells):
+        averaged = _average_results(flat[j * seeds:(j + 1) * seeds])
+        results.setdefault(name, []).append(averaged.hit_rate)
+        if progress:
+            progress(f"{name} fraction={frac} done")
     headers = ["cache_fraction"] + strategy_names()
     rows = []
     for i, frac in enumerate(fractions):
@@ -301,10 +322,15 @@ def run_shift_experiment(scale: float = 0.5,
                          progress: Optional[Callable[[str], None]] = None,
                          ) -> Dict[str, TimelineResult]:
     """Dynamic vs static subtree under the §5.3.2 workload shift."""
+    from ..parallel import require_ok, run_many_timeline
+
+    strategies = ("DynamicSubtree", "StaticSubtree")
+    configs = [shift_config(strategy, scale) for strategy in strategies]
+    runs = require_ok(run_many_timeline(configs, sample_interval_s=1.0,
+                                        task=run_timeline))
     out = {}
-    for strategy in ("DynamicSubtree", "StaticSubtree"):
-        cfg = shift_config(strategy, scale)
-        out[strategy] = run_timeline(cfg, sample_interval_s=1.0)
+    for strategy, run in zip(strategies, runs):
+        out[strategy] = run
         if progress:
             progress(f"{strategy} shift run done")
     return out
@@ -399,10 +425,15 @@ def flash_config(traffic_control: bool, scale: float,
 def fig7(scale: float = 0.5,
          progress: Optional[Callable[[str], None]] = None) -> FigureResult:
     """Flash crowd: replies/forwards per second, traffic control off vs on."""
+    from ..parallel import require_ok, run_many_timeline
+
+    settings = (False, True)
+    configs = [flash_config(enabled, scale) for enabled in settings]
+    runs = require_ok(run_many_timeline(configs, sample_interval_s=0.1,
+                                        task=run_timeline))
     results = {}
-    for enabled in (False, True):
-        cfg = flash_config(enabled, scale)
-        results[enabled] = run_timeline(cfg, sample_interval_s=0.1)
+    for enabled, run in zip(settings, runs):
+        results[enabled] = run
         if progress:
             progress(f"traffic_control={enabled} done")
     headers = ["time", "tc_off_replies", "tc_off_forwards",

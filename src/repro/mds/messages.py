@@ -42,7 +42,7 @@ READ_ONLY_OPS = frozenset({OpType.OPEN, OpType.CLOSE, OpType.STAT,
 MUTATING_OPS = frozenset(OpType) - READ_ONLY_OPS
 
 
-@dataclass
+@dataclass(slots=True)
 class MdsRequest:
     """One client request travelling through the cluster."""
 
@@ -74,7 +74,7 @@ class MdsRequest:
         return self.op in MUTATING_OPS
 
 
-@dataclass
+@dataclass(slots=True)
 class MdsReply:
     """What the serving MDS returns to the client."""
 

@@ -41,7 +41,7 @@ from typing import Dict, List, Optional
 REPLY_SPANS = frozenset({"net.reply"})
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One timestamped stage of a request's journey."""
 
@@ -71,7 +71,7 @@ class Span:
                    detail=data.get("detail"))
 
 
-@dataclass
+@dataclass(slots=True)
 class Trace:
     """Every span one sampled request opened, client submit to reply."""
 

@@ -1,0 +1,24 @@
+"""Parallel sweep execution (see :mod:`repro.parallel.executor`).
+
+One import surface::
+
+    from repro.parallel import run_many, run_many_timeline, require_ok
+
+``run_many`` fans independent experiment configs across worker processes
+with input-order result assembly and per-task failure capture; set
+``REPRO_PARALLEL=0`` (or ``ExperimentConfig(parallel=False)``) to force
+serial execution with bit-identical results.
+"""
+
+from .executor import (PARALLEL_ENV, SweepError, TaskError, require_ok,
+                       resolve_mode, run_many, run_many_timeline)
+
+__all__ = [
+    "PARALLEL_ENV",
+    "SweepError",
+    "TaskError",
+    "require_ok",
+    "resolve_mode",
+    "run_many",
+    "run_many_timeline",
+]

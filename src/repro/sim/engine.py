@@ -6,6 +6,19 @@ top in :mod:`repro.sim.process`.  It is deliberately small, dependency-free
 and deterministic: two runs with the same seed and configuration produce
 identical event orderings, which the test-suite and benchmark harness rely
 on.
+
+Hot-path notes
+--------------
+The calendar stores 3-tuples ``(time, key, event)`` where ``key`` packs the
+priority and a monotonically-increasing sequence number into one integer
+(``priority << 56 | seq``).  Lexicographic tuple order is therefore exactly
+the historical ``(time, priority, seq)`` order — priority-major, FIFO-minor
+at equal times — but each heap sift compares at most two ints instead of
+three fields, and each entry is one element smaller.  :class:`Timeout`
+bypasses the generic ``succeed``/``schedule`` ceremony entirely (it is born
+triggered), and :meth:`Environment.run` inlines :meth:`Environment.step`
+with the queue and ``heappop`` bound to locals; both paths are covered by
+the event-order golden tests in ``tests/sim/test_engine_hotpath.py``.
 """
 
 from __future__ import annotations
@@ -21,6 +34,15 @@ from .errors import EventAlreadyTriggered, StopSimulation
 URGENT = 0
 NORMAL = 1
 
+#: Bits reserved for the FIFO sequence inside a packed heap key.  2**56
+#: schedules per run is far beyond any simulation here; priority occupies
+#: the bits above so it dominates the tie-break.
+_PRIO_SHIFT = 56
+_NORMAL_KEY = NORMAL << _PRIO_SHIFT
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 
 class Event:
     """A condition that may be *triggered* once with a value or an error.
@@ -31,7 +53,8 @@ class Event:
     ``fail`` calls raise :class:`EventAlreadyTriggered`.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_defused")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_defused",
+                 "_scheduled_at")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -40,6 +63,7 @@ class Event:
         self._ok: bool = True
         self._triggered = False
         self._defused = False
+        self._scheduled_at: float = float("inf")  # calendar due time
 
     # -- state ------------------------------------------------------------
     @property
@@ -70,7 +94,8 @@ class Event:
         self._triggered = True
         self._ok = True
         self._value = value
-        self.env.schedule(self, priority=priority)
+        env = self.env
+        env.schedule(self, priority=priority)
         return self
 
     def fail(self, exception: BaseException, *, priority: int = NORMAL) -> "Event":
@@ -86,11 +111,11 @@ class Event:
         return self
 
     def trigger_from(self, other: "Event") -> None:
-        """Trigger this event with the outcome of an already-processed event."""
-        if other.ok:
-            self.succeed(other.value)
+        """Trigger this event with the outcome of an already-settled event."""
+        if other._ok:
+            self.succeed(other._value)
         else:
-            self.fail(other.value)
+            self.fail(other._value)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "processed" if self.processed else (
@@ -99,26 +124,45 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires automatically ``delay`` time units from creation."""
+    """An event that fires automatically ``delay`` time units from creation.
+
+    Timeouts are the kernel's single most-allocated event type (every think
+    time, service time and network hop is one), so construction takes a fast
+    path: the event is born triggered and is pushed straight onto the
+    calendar, skipping the generic ``succeed`` -> ``schedule`` method chain.
+    FIFO ordering at equal ``(time, priority)`` is identical to an event
+    triggered through :meth:`Event.succeed` because both draw from the same
+    sequence counter.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay: {delay!r}")
-        super().__init__(env)
-        self.delay = delay
-        self._triggered = True
+        # Inlined Event.__init__ + succeed() + schedule().
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=delay)
+        self._ok = True
+        self._triggered = True
+        self._defused = False
+        self.delay = delay
+        seq = env._seq
+        env._seq = seq + 1
+        when = env._now + delay
+        self._scheduled_at = when
+        _heappush(env._queue, (when, _NORMAL_KEY | seq, self))
 
 
 class Environment:
     """Execution environment: the event calendar and simulation clock."""
 
+    __slots__ = ("_now", "_queue", "_seq")
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0  # tie-breaker preserving FIFO order at equal (t, prio)
 
     # -- clock ------------------------------------------------------------
@@ -148,6 +192,14 @@ class Environment:
         The result value is the list of individual event values, in input
         order.  If any constituent fails, the combined event fails with that
         exception (first failure wins).
+
+        Already-settled constituents — triggered with a calendar due time at
+        or before ``now``, whether or not their callbacks have run yet —
+        contribute immediately at construction time, in input order; such an
+        event's value is frozen, so there is nothing to wait for.  Pending
+        constituents (including future :class:`Timeout`\\ s, which are
+        *triggered* from birth but not yet due) contribute when the kernel
+        processes them.
         """
         events = list(events)
         combined = self.event()
@@ -160,28 +212,40 @@ class Environment:
         def make_cb(index: int):
             def _cb(ev: Event) -> None:
                 nonlocal remaining
-                if combined.triggered:
+                if combined._triggered:
                     return
-                if not ev.ok:
-                    combined.fail(ev.value)
+                if not ev._ok:
+                    combined.fail(ev._value)
                     return
-                values[index] = ev.value
+                values[index] = ev._value
                 remaining -= 1
                 if remaining == 0:
                     combined.succeed(list(values))
 
             return _cb
 
+        now = self._now
         for i, ev in enumerate(events):
-            if ev.processed:
-                # Already-settled events contribute immediately.
+            if ev._triggered and ev._scheduled_at <= now:
+                # Already settled (value frozen, due now): contribute
+                # immediately instead of waiting for callback dispatch.
                 make_cb(i)(ev)
             else:
                 ev.callbacks.append(make_cb(i))
         return combined
 
     def any_of(self, events: Iterable[Event]) -> Event:
-        """Event that settles as soon as the first of ``events`` settles."""
+        """Event that settles as soon as the first of ``events`` settles.
+
+        Ordering is explicit and mirrors :meth:`all_of`'s already-settled
+        handling: if any constituent is already settled at construction time
+        — triggered with a calendar due time at or before ``now``, whether
+        processed or still awaiting callback dispatch; its value is frozen
+        either way — the combined event settles immediately from the
+        **first such event in input order**.  Otherwise the first
+        constituent the kernel dispatches wins (a future :class:`Timeout`
+        counts as pending until it is due).
+        """
         events = list(events)
         combined = self.event()
         if not events:
@@ -189,22 +253,27 @@ class Environment:
             return combined
 
         def _cb(ev: Event) -> None:
-            if not combined.triggered:
+            if not combined._triggered:
                 combined.trigger_from(ev)
 
+        now = self._now
         for ev in events:
-            if ev.processed:
-                _cb(ev)
-            else:
-                ev.callbacks.append(_cb)
+            if ev._triggered and ev._scheduled_at <= now:
+                combined.trigger_from(ev)
+                return combined
+        for ev in events:
+            ev.callbacks.append(_cb)
         return combined
 
     # -- scheduling ---------------------------------------------------------
     def schedule(self, event: Event, *, delay: float = 0.0,
                  priority: int = NORMAL) -> None:
         """Place a triggered event on the calendar ``delay`` units from now."""
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        when = self._now + delay
+        event._scheduled_at = when
+        _heappush(self._queue, (when, (priority << _PRIO_SHIFT) | seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""
@@ -212,7 +281,7 @@ class Environment:
 
     def step(self) -> None:
         """Process exactly one event (advance the clock to it)."""
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        when, _key, event = _heappop(self._queue)
         self._now = when
         callbacks = event.callbacks
         event.callbacks = None  # mark processed
@@ -247,9 +316,9 @@ class Environment:
                 raise StopSimulation(ev)
 
             if stop_event.processed:
-                if stop_event.ok:
-                    return stop_event.value
-                raise stop_event.value
+                if stop_event._ok:
+                    return stop_event._value
+                raise stop_event._value
             stop_event.callbacks.append(_stop)
         else:
             stop_at = float(until)
@@ -258,14 +327,27 @@ class Environment:
                 raise ValueError(
                     f"until={stop_at!r} is in the past (now={self._now!r})")
 
+        # The loop below is step() inlined with the queue, heappop and the
+        # boundary bound to locals: attribute loads dominate the per-event
+        # cost at this call volume (one iteration per simulated event).
+        queue = self._queue
+        heappop = _heappop
         try:
-            while self._queue and self._queue[0][0] <= stop_at:
-                self.step()
+            while queue and queue[0][0] <= stop_at:
+                when, _key, event = heappop(queue)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None  # mark processed
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
         except StopSimulation as stop:
             ev: Event = stop.value  # type: ignore[assignment]
-            if ev.ok:
-                return ev.value
-            raise ev.value from None
+            if ev._ok:
+                return ev._value
+            raise ev._value from None
         if stop_event is not None:
             raise RuntimeError(
                 "run(until=<event>) exhausted the calendar before the event "

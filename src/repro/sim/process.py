@@ -83,23 +83,27 @@ class Process(Event):
 
     # -- kernel interface ---------------------------------------------------
     def _resume(self, event: Event) -> None:
-        if self.triggered:
+        # Hot path: one call per process hop.  Slot reads are kept to a
+        # minimum and the settled event's frozen fields are read directly.
+        if self._triggered:
             return  # stale wakeup after the process already finished
-        if self._waiting_on is not None and event is not self._waiting_on:
+        waiting_on = self._waiting_on
+        if waiting_on is not None and event is not waiting_on:
             return  # stale wakeup after an interrupt re-armed the process
         self._waiting_on = None
-        if event.ok:
-            self._advance(send=event.value)
+        if event._ok:
+            self._advance(send=event._value)
         else:
             event._defused = True
-            self._advance(throw=event.value)
+            self._advance(throw=event._value)
 
     def _advance(self, *, send: Any = None, throw: BaseException | None = None) -> None:
+        generator = self._generator
         try:
             if throw is not None:
-                target = self._generator.throw(throw)
+                target = generator.throw(throw)
             else:
-                target = self._generator.send(send)
+                target = generator.send(send)
         except StopIteration as stop:
             self.succeed(stop.value, priority=NORMAL)
             return
@@ -112,18 +116,17 @@ class Process(Event):
             crash = TypeError(
                 f"process {self.name!r} yielded {target!r}; processes must"
                 " yield Event instances")
-            self._generator.close()
+            generator.close()
             self.fail(crash)
             return
-        if target.processed:
-            # Already settled: resume immediately on the next kernel step.
+        if target.callbacks is None:  # processed: resume on the next step
             relay = Event(self.env)
             relay.callbacks.append(self._resume)
             self._waiting_on = relay
-            if target.ok:
-                relay.succeed(target.value, priority=URGENT)
+            if target._ok:
+                relay.succeed(target._value, priority=URGENT)
             else:
-                relay.fail(target.value, priority=URGENT)
+                relay.fail(target._value, priority=URGENT)
         else:
             self._waiting_on = target
             target.callbacks.append(self._resume)

@@ -1,0 +1,228 @@
+"""Tests for the parallel sweep executor (repro.parallel).
+
+The determinism contract — serial and parallel execution of the same
+sweep produce bit-identical results — is the hard requirement here; crash
+handling and mode resolution ride along.  Simulations are kept tiny
+(scale 0.15, n_mds=2) so the pool tests stay fast.
+"""
+
+import dataclasses
+import os
+from unittest import mock
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import SteadyStateResult
+from repro.parallel import (PARALLEL_ENV, SweepError, TaskError, require_ok,
+                            resolve_mode, run_many, run_many_timeline)
+from repro.parallel import executor as executor_mod
+
+
+def tiny(seed=42, **kw):
+    base = dict(strategy="DynamicSubtree", n_mds=2, seed=seed, scale=0.15,
+                users_per_mds=4, files_per_user=20, clients_per_mds=6,
+                warmup_s=0.5, duration_s=1.0)
+    base.update(kw)
+    return ExperimentConfig(**base)
+
+
+def broken(seed=42):
+    return tiny(seed=seed, strategy="NoSuchStrategy")
+
+
+# ---------------------------------------------------------------------------
+# Serial vs parallel equivalence
+# ---------------------------------------------------------------------------
+def test_serial_and_parallel_results_identical_field_by_field():
+    configs = [tiny(seed=42 + 7 * s) for s in range(3)]
+    serial = run_many(configs, mode="serial")
+    parallel = run_many(configs, mode="parallel", max_workers=2)
+    assert len(serial) == len(parallel) == 3
+    for s, p in zip(serial, parallel):
+        assert isinstance(s, SteadyStateResult)
+        assert isinstance(p, SteadyStateResult)
+        for f in dataclasses.fields(SteadyStateResult):
+            assert getattr(s, f.name) == getattr(p, f.name), f.name
+
+
+def test_timeline_serial_and_parallel_identical():
+    configs = [tiny(seed=1), tiny(seed=2)]
+    serial = run_many_timeline(configs, sample_interval_s=0.5, mode="serial")
+    parallel = run_many_timeline(configs, sample_interval_s=0.5,
+                                 mode="parallel", max_workers=2)
+    assert serial == parallel
+    assert serial[0].throughput_series  # non-trivial run
+
+
+def test_results_assembled_in_input_order():
+    configs = [tiny(seed=s) for s in (5, 3, 9)]
+    results = run_many(configs, mode="parallel", max_workers=2)
+    assert [r.config.seed for r in results] == [5, 3, 9]
+
+
+# ---------------------------------------------------------------------------
+# Failure capture
+# ---------------------------------------------------------------------------
+def test_worker_crash_surfaces_structured_error_without_hanging():
+    configs = [tiny(seed=1), broken(), tiny(seed=2)]
+    results = run_many(configs, mode="parallel", max_workers=2)
+    assert isinstance(results[0], SteadyStateResult)
+    assert isinstance(results[2], SteadyStateResult)
+    err = results[1]
+    assert isinstance(err, TaskError)
+    assert err.kind == "exception"
+    assert err.error_type == "ValueError"
+    assert "NoSuchStrategy" in err.traceback
+    assert err.config.strategy == "NoSuchStrategy"
+
+
+def test_serial_mode_captures_errors_identically():
+    results = run_many([broken()], mode="serial")
+    assert isinstance(results[0], TaskError)
+    assert results[0].error_type == "ValueError"
+
+
+def test_require_ok_raises_sweep_error_with_context():
+    results = run_many([tiny(seed=1), broken()], mode="serial")
+    with pytest.raises(SweepError, match="1/2.*ValueError"):
+        require_ok(results)
+
+
+def test_require_ok_passes_through_clean_results():
+    results = run_many([tiny(seed=1)], mode="serial")
+    assert require_ok(results) == results
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="needs SIGALRM/Unix")
+def test_per_task_timeout_returns_structured_error():
+    def slow_task(config):
+        import time
+        time.sleep(5.0)
+
+    results = run_many([tiny()], task=slow_task, timeout_s=0.2)
+    assert isinstance(results[0], TaskError)
+    assert results[0].kind == "timeout"
+
+
+def test_empty_sweep():
+    assert run_many([]) == []
+
+
+# ---------------------------------------------------------------------------
+# Mode resolution
+# ---------------------------------------------------------------------------
+def test_env_var_forces_serial(monkeypatch):
+    monkeypatch.setenv(PARALLEL_ENV, "0")
+    assert resolve_mode([tiny(), tiny(seed=2)]) == (False, 1)
+    monkeypatch.setenv(PARALLEL_ENV, "serial")
+    assert resolve_mode([tiny(), tiny(seed=2)]) == (False, 1)
+
+
+def test_env_var_pins_worker_count(monkeypatch):
+    monkeypatch.setenv(PARALLEL_ENV, "3")
+    parallel, workers = resolve_mode([tiny(seed=s) for s in range(4)])
+    assert parallel is True
+    assert workers == 3
+
+
+def test_env_var_garbage_rejected(monkeypatch):
+    monkeypatch.setenv(PARALLEL_ENV, "sideways")
+    with pytest.raises(ValueError, match="REPRO_PARALLEL"):
+        resolve_mode([tiny(), tiny(seed=2)])
+
+
+def test_config_level_switch_forces_serial(monkeypatch):
+    monkeypatch.delenv(PARALLEL_ENV, raising=False)
+    configs = [tiny(seed=1), tiny(seed=2, parallel=False)]
+    assert resolve_mode(configs) == (False, 1)
+
+
+def test_explicit_mode_overrides_everything(monkeypatch):
+    monkeypatch.setenv(PARALLEL_ENV, "0")
+    parallel, _ = resolve_mode([tiny(), tiny(seed=2)], mode="parallel")
+    assert parallel is True
+
+
+def test_single_task_runs_serial_by_default(monkeypatch):
+    monkeypatch.delenv(PARALLEL_ENV, raising=False)
+    assert resolve_mode([tiny()]) == (False, 1)
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError, match="serial.*parallel"):
+        resolve_mode([tiny()], mode="sideways")
+
+
+# ---------------------------------------------------------------------------
+# Custom tasks (test doubles) run serially in-process
+# ---------------------------------------------------------------------------
+def test_custom_task_runs_in_process_even_in_parallel_mode():
+    seen = []
+
+    def stub(config):
+        seen.append(config.seed)
+        return config.seed * 10
+
+    results = run_many([tiny(seed=1), tiny(seed=2)], task=stub,
+                       mode="parallel")
+    assert results == [10, 20]
+    assert seen == [1, 2]  # ran here, in submission order
+
+
+# ---------------------------------------------------------------------------
+# Pool breakage falls back to in-process execution
+# ---------------------------------------------------------------------------
+def test_broken_pool_falls_back_in_process():
+    calls = []
+
+    class ExplodingPool:
+        def __init__(self, *a, **kw):
+            pass
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+        def submit(self, *a, **kw):
+            from concurrent.futures.process import BrokenProcessPool
+            raise BrokenProcessPool("worker died")
+
+    with mock.patch.object(executor_mod, "ProcessPoolExecutor",
+                           ExplodingPool):
+        results = run_many([tiny(seed=1), tiny(seed=2)], mode="parallel",
+                           progress=calls.append)
+    assert all(isinstance(r, SteadyStateResult) for r in results)
+    assert [r.config.seed for r in results] == [1, 2]
+    assert any("fallback" in msg for msg in calls)
+
+
+# ---------------------------------------------------------------------------
+# Snapshot memo: enabled in sweeps, bit-identical to regeneration
+# ---------------------------------------------------------------------------
+def test_snapshot_memo_matches_regeneration():
+    from repro.experiments._build import (enable_snapshot_memo,
+                                          snapshot_memo_enabled)
+    from repro.experiments.runner import run_steady_state
+
+    cfg = tiny(seed=4)
+    assert not snapshot_memo_enabled()
+    fresh = run_steady_state(cfg)
+    enable_snapshot_memo(True)
+    try:
+        memo_miss = run_steady_state(cfg)
+        memo_hit = run_steady_state(cfg)
+    finally:
+        enable_snapshot_memo(False)
+    assert fresh == memo_miss == memo_hit
+
+
+def test_sweep_results_match_plain_runner_calls():
+    from repro.experiments.runner import run_steady_state
+
+    configs = [tiny(seed=11), tiny(seed=12)]
+    plain = [run_steady_state(c) for c in configs]
+    assert run_many(configs, mode="serial") == plain
+    assert run_many(configs, mode="parallel", max_workers=2) == plain

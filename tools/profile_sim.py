@@ -1,13 +1,21 @@
 #!/usr/bin/env python3
-"""Profile a standard simulation run (cProfile).
+"""Profile a standard simulation run (cProfile) or time it stably.
 
 "No optimization without measuring": this drives the same simulation the
 scaling experiments use under cProfile and prints the hottest functions,
 so changes to the kernel or the MDS serving path can be judged on data.
 
+Kernel micro-optimisations are judged on *stable* numbers, not one noisy
+run: ``--repeat N`` times the run N times (profiler off — cProfile skews
+per-call costs) and reports min and median wall time.  ``--parallel`` /
+``--serial`` instead drive a ``--seeds``-wide sweep through
+``repro.parallel.run_many`` in the chosen mode, timing the whole sweep.
+
 Usage:
     python tools/profile_sim.py [--scale 0.5] [--strategy DynamicSubtree]
     python tools/profile_sim.py --sort tottime --limit 40
+    python tools/profile_sim.py --repeat 5
+    python tools/profile_sim.py --parallel --seeds 8 --repeat 3
 """
 
 from __future__ import annotations
@@ -15,10 +23,25 @@ from __future__ import annotations
 import argparse
 import cProfile
 import pstats
+import statistics
 import sys
 import time
 
-from repro.api import run_steady_state, scaling_config
+from repro.api import run_many, require_ok, run_steady_state, scaling_config
+
+
+def _sweep_once(configs, mode):
+    t = time.perf_counter()
+    results = require_ok(run_many(configs, mode=mode))
+    wall = time.perf_counter() - t
+    return wall, sum(r.total_ops for r in results)
+
+
+def _single_once(config):
+    t = time.perf_counter()
+    result = run_steady_state(config)
+    wall = time.perf_counter() - t
+    return wall, result.total_ops
 
 
 def main(argv=None) -> int:
@@ -31,9 +54,47 @@ def main(argv=None) -> int:
     parser.add_argument("--limit", type=int, default=25)
     parser.add_argument("--dump", metavar="FILE",
                         help="also write raw stats for snakeviz etc.")
+    parser.add_argument("--repeat", type=int, default=1, metavar="N",
+                        help="time N runs (profiler off) and report "
+                             "min/median wall time")
+    parser.add_argument("--seeds", type=int, default=4,
+                        help="sweep width for --parallel/--serial")
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--parallel", action="store_true",
+                      help="time a --seeds-wide sweep via run_many "
+                           "(process pool)")
+    mode.add_argument("--serial", action="store_true",
+                      help="time the same sweep forced serial in-process")
     args = parser.parse_args(argv)
+    if args.repeat < 1:
+        parser.error("--repeat must be >= 1")
 
     config = scaling_config(args.strategy, args.n_mds, args.scale)
+
+    if args.parallel or args.serial:
+        sweep_mode = "parallel" if args.parallel else "serial"
+        configs = [scaling_config(args.strategy, args.n_mds, args.scale,
+                                  seed=42 + 7 * s)
+                   for s in range(args.seeds)]
+        walls = []
+        ops = 0
+        for i in range(args.repeat):
+            wall, ops = _sweep_once(configs, sweep_mode)
+            walls.append(wall)
+            print(f"  sweep run {i + 1}/{args.repeat}: {wall:.2f}s")
+        _report(walls, ops, f"{len(configs)}-config sweep ({sweep_mode})")
+        return 0
+
+    if args.repeat > 1:
+        walls = []
+        ops = 0
+        for i in range(args.repeat):
+            wall, ops = _single_once(config)
+            walls.append(wall)
+            print(f"  run {i + 1}/{args.repeat}: {wall:.2f}s")
+        _report(walls, ops, "single run")
+        return 0
+
     profiler = cProfile.Profile()
     wall = time.time()
     profiler.enable()
@@ -51,6 +112,16 @@ def main(argv=None) -> int:
         stats.dump_stats(args.dump)
         print(f"raw profile written to {args.dump}")
     return 0
+
+
+def _report(walls, total_ops, label) -> None:
+    best = min(walls)
+    med = statistics.median(walls)
+    print(f"{label}: {total_ops} simulated ops")
+    print(f"  wall time  min {best:.2f}s   median {med:.2f}s "
+          f"({len(walls)} repeats)")
+    print(f"  throughput min-wall {total_ops / best:.0f} ops/wall-s   "
+          f"median-wall {total_ops / med:.0f} ops/wall-s")
 
 
 if __name__ == "__main__":
