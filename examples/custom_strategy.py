@@ -40,7 +40,7 @@ class RoundRobinPartition(Strategy):
         super().__init__(n_mds)
         self.layout = InodeGrainLayout()
 
-    def authority_of_ino(self, ino: int) -> int:
+    def _authority_of_ino(self, ino: int) -> int:
         return ino % self.n_mds
 
     def authority_of_new(self, path: Path, parent_ino: int) -> int:

@@ -1,0 +1,30 @@
+"""Request-path fast-lane switch.
+
+The fast lane — the namespace resolution memo and the partition-strategy
+authority cache — is pure memoisation: with correct invalidation it changes
+wall-clock cost only, never simulated behaviour.  ``REPRO_FASTPATH=0``
+disables it so CI can assert that a fixed-seed run produces bit-identical
+``Simulation.summary()`` metrics either way (the golden-equivalence check).
+
+The switch is read when a simulation is wired up (``MdsCluster.__init__`` /
+``Strategy.bind``), not per request: the hot path itself only ever does a
+``is None`` check on the memo handle.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment switch: unset/"1"/"on" enables the fast lane (default),
+#: "0"/"off"/"false"/"no" disables it for golden-equivalence runs.
+FASTPATH_ENV = "REPRO_FASTPATH"
+
+_OFF_TOKENS = frozenset({"0", "off", "false", "no", "serial"})
+
+
+def fastpath_enabled() -> bool:
+    """True unless ``REPRO_FASTPATH`` disables the request-path fast lane."""
+    return os.environ.get(FASTPATH_ENV, "").strip().lower() not in _OFF_TOKENS
+
+
+__all__ = ["FASTPATH_ENV", "fastpath_enabled"]

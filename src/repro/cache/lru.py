@@ -14,18 +14,24 @@ Two paper-specific behaviours:
 * **Category accounting** (§5.3.1 / Fig. 3): the cache can report how many
   slots are devoted to prefix (ancestor) directory inodes, and how many hold
   replicas of metadata another MDS is authoritative for.
+
+The eviction order is an *intrusive* doubly-linked list threaded through the
+entries themselves (``lru_prev``/``lru_next``): touch, cold-end insertion
+and mid-list unlink are pointer swaps with no dict churn, which matters
+because every single request serves several cache touches.  List order is
+identical to the previous ``OrderedDict`` implementation: head = coldest
+(evicted first), tail = hottest.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheEntry:
-    """One cached inode."""
+    """One cached inode; doubles as its own LRU-list link."""
 
     ino: int
     parent_ino: Optional[int]  # None only for the root
@@ -34,6 +40,13 @@ class CacheEntry:
     pin_count: int = 0         # cached children pinning this entry
     external_pins: int = 0     # delegation anchors, in-flight operations
     dirty: bool = False
+    #: intrusive eviction-order links; ``None``-``None`` while pinned
+    #: (pinned entries leave the eviction list entirely)
+    lru_prev: Optional["CacheEntry"] = field(
+        default=None, repr=False, compare=False)
+    lru_next: Optional["CacheEntry"] = field(
+        default=None, repr=False, compare=False)
+    in_lru: bool = field(default=False, repr=False, compare=False)
 
     @property
     def pinned(self) -> bool:
@@ -71,8 +84,47 @@ class MetadataCache:
         self.capacity = capacity
         self.counters = CacheCounters()
         self._entries: Dict[int, CacheEntry] = {}
-        #: eviction order over *unpinned* entries; first key = coldest.
-        self._lru: "OrderedDict[int, None]" = OrderedDict()
+        # Eviction order over *unpinned* entries, threaded through the
+        # entries: sentinel head/tail, head side = coldest.
+        self._head = CacheEntry(ino=-1, parent_ino=None, is_dir=False)
+        self._tail = CacheEntry(ino=-2, parent_ino=None, is_dir=False)
+        self._head.lru_next = self._tail
+        self._tail.lru_prev = self._head
+
+    # ------------------------------------------------------------------
+    # intrusive-list primitives
+    # ------------------------------------------------------------------
+    def _lru_unlink(self, entry: CacheEntry) -> None:
+        prev, nxt = entry.lru_prev, entry.lru_next
+        prev.lru_next = nxt  # type: ignore[union-attr]
+        nxt.lru_prev = prev  # type: ignore[union-attr]
+        entry.lru_prev = entry.lru_next = None
+        entry.in_lru = False
+
+    def _lru_append_hot(self, entry: CacheEntry) -> None:
+        tail = self._tail
+        prev = tail.lru_prev
+        entry.lru_prev = prev
+        entry.lru_next = tail
+        prev.lru_next = entry  # type: ignore[union-attr]
+        tail.lru_prev = entry
+        entry.in_lru = True
+
+    def _lru_append_cold(self, entry: CacheEntry) -> None:
+        head = self._head
+        nxt = head.lru_next
+        entry.lru_prev = head
+        entry.lru_next = nxt
+        head.lru_next = entry
+        nxt.lru_prev = entry  # type: ignore[union-attr]
+        entry.in_lru = True
+
+    def _lru_touch(self, entry: CacheEntry) -> None:
+        """Move an in-list entry to the hot end (two pointer splices)."""
+        if entry.lru_next is self._tail:
+            return  # already hottest
+        self._lru_unlink(entry)
+        self._lru_append_hot(entry)
 
     # ------------------------------------------------------------------
     # queries
@@ -86,8 +138,8 @@ class MetadataCache:
     def get(self, ino: int, *, touch: bool = True) -> Optional[CacheEntry]:
         """Entry for ``ino``, refreshing its recency unless ``touch=False``."""
         entry = self._entries.get(ino)
-        if entry is not None and touch and ino in self._lru:
-            self._lru.move_to_end(ino)
+        if entry is not None and touch and entry.in_lru:
+            self._lru_touch(entry)
         return entry
 
     def entries(self) -> Iterator[CacheEntry]:
@@ -140,8 +192,8 @@ class MetadataCache:
         if existing is not None:
             if not replica:
                 existing.replica = False
-            if ino in self._lru and not prefetched:
-                self._lru.move_to_end(ino)
+            if existing.in_lru and not prefetched:
+                self._lru_touch(existing)
             return []
 
         if parent_ino is not None:
@@ -155,11 +207,12 @@ class MetadataCache:
         entry = CacheEntry(ino=ino, parent_ino=parent_ino, is_dir=is_dir,
                            replica=replica)
         self._entries[ino] = entry
-        self._lru[ino] = None
         if prefetched:
-            # Cold-end insertion: first in line for eviction.
-            self._lru.move_to_end(ino, last=False)
+            # Cold-end insertion: first in line for eviction (§4.5).
+            self._lru_append_cold(entry)
             self.counters.prefetch_insertions += 1
+        else:
+            self._lru_append_hot(entry)
         self.counters.insertions += 1
 
         return self._shrink(exclude=ino)
@@ -168,8 +221,8 @@ class MetadataCache:
         """Add an external pin (delegation anchor / in-flight op)."""
         entry = self._entries[ino]
         entry.external_pins += 1
-        if entry.external_pins == 1 and entry.pin_count == 0:
-            self._lru.pop(ino, None)
+        if entry.in_lru:
+            self._lru_unlink(entry)
 
     def unpin(self, ino: int) -> List[CacheEntry]:
         """Release an external pin.
@@ -199,7 +252,8 @@ class MetadataCache:
                 f"cannot remove ino {ino}: {entry.external_pins} external "
                 "pins (open handles / delegation anchors)")
         del self._entries[ino]
-        self._lru.pop(ino, None)
+        if entry.in_lru:
+            self._lru_unlink(entry)
         self._unpin_parent(entry)
         return entry
 
@@ -232,8 +286,8 @@ class MetadataCache:
     # ------------------------------------------------------------------
     def _pin_internal(self, parent: CacheEntry) -> None:
         parent.pin_count += 1
-        if parent.pin_count == 1 and parent.external_pins == 0:
-            self._lru.pop(parent.ino, None)
+        if parent.in_lru:
+            self._lru_unlink(parent)
 
     def _unpin_parent(self, child: CacheEntry) -> None:
         if child.parent_ino is None:
@@ -248,9 +302,12 @@ class MetadataCache:
             self._make_evictable(parent, cold=True)
 
     def _make_evictable(self, entry: CacheEntry, *, cold: bool) -> None:
-        self._lru[entry.ino] = None
+        if entry.in_lru:
+            self._lru_unlink(entry)
         if cold:
-            self._lru.move_to_end(entry.ino, last=False)
+            self._lru_append_cold(entry)
+        else:
+            self._lru_append_hot(entry)
 
     def _shrink(self, exclude: Optional[int] = None) -> List[CacheEntry]:
         """Evict until within capacity (or nothing evictable remains)."""
@@ -263,18 +320,31 @@ class MetadataCache:
         return evicted
 
     def _evict_one(self, exclude: Optional[int] = None) -> Optional[CacheEntry]:
-        for ino in self._lru:
-            if ino != exclude:
-                victim = self._entries.pop(ino)
-                del self._lru[ino]
+        victim = self._head.lru_next
+        while victim is not self._tail:
+            if victim.ino != exclude:  # type: ignore[union-attr]
+                assert victim is not None
+                del self._entries[victim.ino]
+                self._lru_unlink(victim)
                 self._unpin_parent(victim)
                 self.counters.evictions += 1
                 return victim
+            victim = victim.lru_next  # type: ignore[union-attr]
         return None
 
     # ------------------------------------------------------------------
     # invariants (for property-based tests)
     # ------------------------------------------------------------------
+    def _lru_order(self) -> List[int]:
+        """Eviction order, coldest first (tests/introspection only)."""
+        order: List[int] = []
+        node = self._head.lru_next
+        while node is not self._tail:
+            assert node is not None
+            order.append(node.ino)
+            node = node.lru_next
+        return order
+
     def verify_invariants(self) -> None:
         """Raise ``AssertionError`` on internal inconsistency."""
         pin_counts: Dict[int, int] = {}
@@ -288,6 +358,24 @@ class MetadataCache:
             assert entry.pin_count == pin_counts.get(entry.ino, 0), (
                 f"ino {entry.ino}: pin_count {entry.pin_count} != "
                 f"{pin_counts.get(entry.ino, 0)} cached children")
-            in_lru = entry.ino in self._lru
-            assert in_lru == (not entry.pinned), (
-                f"ino {entry.ino}: pinned={entry.pinned} but in_lru={in_lru}")
+            assert entry.in_lru == (not entry.pinned), (
+                f"ino {entry.ino}: pinned={entry.pinned} but "
+                f"in_lru={entry.in_lru}")
+        # the intrusive list is consistent both ways and holds exactly the
+        # unpinned entries
+        forward: List[int] = []
+        node = self._head.lru_next
+        prev = self._head
+        while node is not self._tail:
+            assert node is not None and node.lru_prev is prev, (
+                f"broken back-link at ino {node.ino if node else '?'}")
+            assert node.in_lru, f"listed entry {node.ino} not flagged in_lru"
+            assert node.ino in self._entries, (
+                f"listed entry {node.ino} not cached")
+            forward.append(node.ino)
+            prev, node = node, node.lru_next
+        assert self._tail.lru_prev is prev, "broken tail back-link"
+        unpinned = {e.ino for e in self._entries.values() if not e.pinned}
+        assert set(forward) == unpinned, (
+            f"LRU list {set(forward)} != unpinned entries {unpinned}")
+        assert len(forward) == len(unpinned), "duplicate entries in LRU list"

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Generator, List, Optional, Protocol
 
 from ..mds import MdsCluster, MdsReply, MdsRequest
+from ..mds.messages import OpType
 from ..sim import Environment, Event
 from .location import LocationCache
 
@@ -65,21 +66,24 @@ class Client:
         self.env.process(self.run())
 
     def run(self) -> Generator[Event, Any, None]:
+        env = self.env
+        workload = self.workload
+        cluster = self.cluster
         while True:
-            delay = self.workload.next_delay(self)
+            delay = workload.next_delay(self)
             if delay > 0:
-                yield self.env.timeout(delay)
-            request = self.workload.next_op(self)
+                yield env.timeout(delay)
+            request = workload.next_op(self)
             if request is None:
                 continue
             request.client_id = self.client_id
             request.uid = self.uid
-            tracer = self.cluster.tracer
+            tracer = cluster.tracer
             if tracer is not None and tracer.enabled:
                 request.trace = tracer.maybe_trace(
-                    request.op, request.path, self.client_id, self.env.now)
+                    request.op, request.path, self.client_id, env.now)
             dest = self._destination(request)
-            done = self.cluster.submit(dest, request)
+            done = cluster.submit(dest, request)
             reply: MdsReply = yield done
             self._absorb(request, reply)
 
@@ -109,7 +113,6 @@ class Client:
             self.locations.forget(prefix)
             return
         self.locations.learn_all(reply.locations)
-        from ..mds.messages import OpType
         if request.op is OpType.OPEN:
             self.last_opened = request.path
             self.last_opened_ino = reply.target_ino

@@ -108,8 +108,7 @@ class GeneralWorkload:
         node = self.ns.try_resolve(cwd)
         if node is None:
             return
-        subdirs = [name for name, ino in node.children.items()  # type: ignore[union-attr]
-                   if self.ns.inode(ino).is_dir]
+        subdirs = self.ns.subdir_names(node)
         roll = rng.random()
         if roll < 0.5 and subdirs:
             state["cwd"] = pathmod.join(cwd, rng.choice(subdirs))
@@ -125,8 +124,7 @@ class GeneralWorkload:
             node = self.ns.try_resolve(current)
             if node is None or not node.is_dir:
                 return root
-            subdirs = [name for name, ino in node.children.items()  # type: ignore[union-attr]
-                       if self.ns.inode(ino).is_dir]
+            subdirs = self.ns.subdir_names(node)
             if not subdirs or rng.random() < 0.4:
                 return current
             current = pathmod.join(current, rng.choice(subdirs))
@@ -214,8 +212,7 @@ class GeneralWorkload:
         node = self.ns.try_resolve(cwd)
         if node is None or not node.is_dir or not node.children:
             return None
-        files = [name for name, ino in node.children.items()  # type: ignore[union-attr]
-                 if self.ns.inode(ino).is_file]
+        files = self.ns.file_names(node)
         if not files:
             return None
         return pathmod.join(cwd, rng.choice(files))

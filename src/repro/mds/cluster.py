@@ -12,6 +12,7 @@ from __future__ import annotations
 import random
 from typing import Any, Dict, Generator, List, Optional, Set
 
+from .._fastpath import fastpath_enabled
 from ..namespace import Namespace
 from ..obs import Tracer
 from ..partition import DynamicSubtreePartition, Strategy
@@ -46,6 +47,10 @@ class MdsCluster:
         params.validate()
         if strategy.ns is not ns:
             strategy.bind(ns)
+        if fastpath_enabled():
+            # request-path fast lane: memoise resolutions/ancestor chains
+            # (invalidated precisely by the namespace on structural change)
+            ns.enable_resolution_memo()
 
         self.object_store = ObjectStore(
             env, n_osds=max(1, params.osds_per_mds * self.n_mds),

@@ -68,7 +68,10 @@ def fail_node(cluster: "MdsCluster", node_id: int,
         target = standby if standby is not None \
             else survivors[i % len(survivors)]
         if subtree_ino == ROOT_INO:
+            # direct table write (delegate() would coalesce away nested
+            # delegations) — must drop memoised authorities by hand
             strategy.delegations[ROOT_INO] = target
+            strategy._authority_changed()
         else:
             strategy.delegate(subtree_ino, target)
         reassigned.append(subtree_ino)

@@ -88,9 +88,11 @@ class MdsNode:
         self.env.process(self._writeback_flusher())
 
     def _worker(self) -> Generator[Event, Any, None]:
+        inbox = self.inbox
+        handle = self._handle
         while True:
-            request: MdsRequest = yield self.inbox.get()
-            yield from self._handle(request)
+            request: MdsRequest = yield inbox.get()
+            yield from handle(request)
 
     # ------------------------------------------------------------------
     # request handling
@@ -141,9 +143,20 @@ class MdsNode:
         # whole serve path shares one failure exit.
         try:
             # -- path traversal & permission check (§4.1) -----------------
+            # The cache-hit case is inlined: a generator per ancestor per
+            # request is measurable overhead at ~5 lookups/request, and
+            # after warmup nearly every lookup hits.
             if strategy.needs_path_traversal and target is not None:
-                for ancestor in ns.ancestors(target.ino):
-                    yield from self._ensure_cached(ancestor, trace=trace)
+                cache_get = self.cache.get
+                stats = self.stats
+                for aino in ns.ancestor_inos(target.ino):
+                    if cache_get(aino) is not None:
+                        stats.cache_hits += 1
+                        if trace is not None:
+                            trace.bump("cache.hit")
+                    else:
+                        yield from self._fetch_missing(ns.inode(aino),
+                                                       trace=trace)
 
             # -- Lazy Hybrid / rename-migration deferred work -------------
             if target is not None and strategy.take_pending(target.ino):
@@ -157,7 +170,12 @@ class MdsNode:
 
             # -- bring the target itself into cache ------------------------
             if target is not None:
-                yield from self._ensure_cached(target, trace=trace)
+                if self.cache.get(target.ino) is not None:
+                    self.stats.cache_hits += 1
+                    if trace is not None:
+                        trace.bump("cache.hit")
+                else:
+                    yield from self._fetch_missing(target, trace=trace)
 
             # -- apply the operation ----------------------------------------
             touched_ino = yield from self._apply(req, target)
@@ -167,11 +185,20 @@ class MdsNode:
             return
 
         # -- popularity accounting & traffic control (§4.4) ----------------
+        # The accounting itself never yields; only the rare replication
+        # broadcast does, so the common case stays a plain call.
         if touched_ino is not None and authority == self.node_id:
-            try:
-                yield from self._note_access(touched_ino, req)
-            except FsError:
-                pass  # the item vanished while we were broadcasting
+            if self._note_access(touched_ino):
+                t0 = self.env.now
+                try:
+                    yield from self._replicate_everywhere(touched_ino)
+                except FsError:
+                    pass  # the item vanished while we were broadcasting
+                else:
+                    if trace is not None:
+                        trace.add("traffic.replicate", t0, self.env.now,
+                                  node=self.node_id,
+                                  detail=f"ino={touched_ino}")
 
         self._reply(req, ok=True, target_ino=touched_ino)
 
@@ -238,6 +265,11 @@ class MdsNode:
             if trace is not None:
                 trace.bump("cache.hit")
             return
+        yield from self._fetch_missing(inode, trace=trace)
+
+    def _fetch_missing(self, inode: Inode,
+                       trace=None) -> Generator[Event, Any, None]:
+        """Cache-miss path of :meth:`_ensure_cached` (caller checked)."""
         self.stats.record_miss()
         if trace is not None:
             trace.bump("cache.miss")
@@ -525,6 +557,10 @@ class MdsNode:
             if not self._writeback_buffer:
                 continue
             batch, self._writeback_buffer = self._writeback_buffer, []
+            # coalesce repeat retirements of the same inode within a flush
+            # window (§4.6): one tier-2 write covers them all.  Insertion
+            # order is kept so the layout sees a deterministic batch.
+            batch = list(dict.fromkeys(batch))
             live = [ns.inode(ino) for ino in batch if ino in ns]
             if not live:
                 continue
@@ -558,31 +594,26 @@ class MdsNode:
     # ------------------------------------------------------------------
     # popularity / traffic control (§4.4)
     # ------------------------------------------------------------------
-    def _note_access(self, ino: int,
-                     req: MdsRequest) -> Generator[Event, Any, None]:
+    def _note_access(self, ino: int) -> bool:
+        """Popularity bookkeeping; True when the item crossed the
+        replication threshold (caller runs the broadcast)."""
         ns = self.cluster.ns
         now = self.env.now
         value = self.popularity.add(ino, now)
         # hierarchical accounting for the load balancer: each ancestor
-        # directory absorbs the access
+        # directory absorbs the access (a directory absorbs its own as
+        # well).  The chain comes from the memoised ancestor walk and is
+        # recorded in one batch — counters are independent, so the order
+        # within the chain is irrelevant to the decayed values.
         if ino in ns:
-            node = ns.inode(ino)
-            parent = node.parent_ino if not node.is_dir else node.ino
-            while True:
-                self.popularity.add(parent, now)
-                if parent == ROOT_INO:
-                    break
-                parent = ns.inode(parent).parent_ino
-        if (self.cluster.traffic_control_active
+            self.popularity.add_chain(ns.ancestor_inos(ino), now)
+            if ns.inode(ino).is_dir:
+                self.popularity.add(ino, now)
+        return (self.cluster.traffic_control_active
                 and value >= self.params.replicate_threshold
                 and ino not in self.cluster.hot_inos
                 and ino in ns
-                and now >= self._replication_cooldown.get(ino, 0.0)):
-            t0 = self.env.now
-            yield from self._replicate_everywhere(ino)
-            if req.trace is not None:
-                req.trace.add("traffic.replicate", t0, self.env.now,
-                              node=self.node_id, detail=f"ino={ino}")
+                and now >= self._replication_cooldown.get(ino, 0.0))
 
     def _replicate_everywhere(self, ino: int) -> Generator[Event, Any, None]:
         """Push replicas of a suddenly popular item to every node (§4.4)."""
@@ -609,33 +640,43 @@ class MdsNode:
     def _reply(self, req: MdsRequest, *, ok: bool,
                error: Optional[str] = None,
                target_ino: Optional[int] = None) -> None:
+        now = self.env.now
         locations = {}
         if ok and self.cluster.strategy.client_locate(req.path) is None:
             locations = self._distribution_info(req.path)
         reply = MdsReply(ok=ok, served_by=self.node_id, op=req.op,
                          path=req.path, error=error, locations=locations,
                          target_ino=target_ino, forwarded=req.hops,
-                         latency_s=self.env.now - req.submitted_at)
-        self.stats.record_served(self.env.now)
+                         latency_s=now - req.submitted_at)
+        self.stats.record_served(now)
         if not ok:
             self.stats.errors += 1
         self.cluster.reply_later(req, reply)
 
     def _distribution_info(self, path) -> dict:
-        """Location hints for the path and its prefixes (§4.4)."""
+        """Location hints for the path and its prefixes (§4.4).
+
+        One incremental walk down the dentry tree covers every prefix —
+        resolution is hierarchical, so the first unresolvable component
+        ends the hints (deeper prefixes cannot resolve either).
+        """
         ns = self.cluster.ns
         strategy = self.cluster.strategy
-        info: dict = {}
-        node = ns.try_resolve(path)
-        walk = list(pathmod.prefixes(path))
-        if node is not None:
-            walk.append(path)
-        for prefix in walk:
-            inode = ns.try_resolve(prefix)
-            if inode is None:
-                continue
-            if inode.ino in self.cluster.hot_inos or inode.ino == ROOT_INO:
+        hot = self.cluster.hot_inos
+        info: dict = {(): ANY_NODE}  # the root is cached on every node
+        node = ns.root
+        depth = 0
+        for name in path:
+            if not node.is_dir:
+                break
+            child_ino = node.children.get(name)  # type: ignore[union-attr]
+            if child_ino is None:
+                break
+            node = ns.inode(child_ino)
+            depth += 1
+            prefix = path[:depth]
+            if node.ino in hot:
                 info[prefix] = ANY_NODE
             else:
-                info[prefix] = strategy.authority_of_ino(inode.ino)
+                info[prefix] = strategy.authority_of_ino(node.ino)
         return info

@@ -11,10 +11,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Iterable
+
+# Hoisted so the hot path does not recompute log(2); the product below keeps
+# the exact expression shape `-log(2) * dt / halflife` — do NOT fold this
+# into a per-counter rate constant, the different rounding would flip
+# replicate-threshold crossings and break bit-identical reproducibility.
+_LN2 = math.log(2.0)
+_exp = math.exp
 
 
-@dataclass
+@dataclass(slots=True)
 class DecayCounter:
     """A counter whose value halves every ``halflife_s`` seconds."""
 
@@ -24,8 +31,8 @@ class DecayCounter:
 
     def _decay_to(self, now: float) -> None:
         if now > self.last_t and self.value > 0.0:
-            self.value *= math.exp(-math.log(2.0) *
-                                   (now - self.last_t) / self.halflife_s)
+            self.value *= _exp(-_LN2 *
+                               (now - self.last_t) / self.halflife_s)
         self.last_t = max(self.last_t, now)
 
     def add(self, now: float, amount: float = 1.0) -> float:
@@ -55,6 +62,30 @@ class PopularityMap:
             counter = DecayCounter(self.halflife_s, last_t=now)
             self._counters[ino] = counter
         return counter.add(now, amount)
+
+    def add_chain(self, inos: Iterable[int], now: float) -> None:
+        """Record one access on every counter in ``inos`` at time ``now``.
+
+        Batch form of :meth:`add` for the per-request ancestor-chain
+        accounting: decay is applied inline, one pass, no per-call method
+        dispatch.  Float semantics are identical to calling :meth:`add` per
+        ino (same expression order as ``DecayCounter._decay_to``).
+        """
+        counters = self._counters
+        halflife = self.halflife_s
+        for ino in inos:
+            counter = counters.get(ino)
+            if counter is None:
+                # fresh counter at `now`: no decay, first access counts 1
+                counters[ino] = DecayCounter(halflife, value=1.0, last_t=now)
+                continue
+            last_t = counter.last_t
+            if now > last_t:
+                if counter.value > 0.0:
+                    counter.value *= _exp(-_LN2 *
+                                          (now - last_t) / halflife)
+                counter.last_t = now
+            counter.value += 1.0
 
     def read(self, ino: int, now: float) -> float:
         counter = self._counters.get(ino)

@@ -13,6 +13,7 @@ from .errors import (AlreadyExists, FileNotFound, FsError, InvalidOperation,
 from .generator import (SnapshotSpec, SnapshotStats, build_tree,
                         generate_snapshot)
 from .inode import Inode, InodeType
+from .memo import ResolutionMemo
 from .permissions import (Access, DualEntryACL, access_for, can_traverse,
                           merge_path_acl)
 from .tree import Namespace, ROOT_INO
@@ -33,6 +34,7 @@ __all__ = [
     "NotADirectory",
     "NotEmpty",
     "ROOT_INO",
+    "ResolutionMemo",
     "SnapshotSpec",
     "SnapshotStats",
     "access_for",

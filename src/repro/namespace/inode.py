@@ -37,8 +37,14 @@ class Inode:
     mtime: float = 0.0
     nlink: int = 1
     children: "dict[str, int] | None" = field(default=None, repr=False)
+    # plain attributes, not properties: type checks dominate the request
+    # hot path (~1M reads per simulated minute) and itype never changes
+    is_dir: bool = field(init=False, repr=False, compare=False)
+    is_file: bool = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
+        self.is_dir = self.itype is InodeType.DIR
+        self.is_file = self.itype is InodeType.FILE
         if self.mode == 0:
             self.mode = (DEFAULT_DIR_MODE if self.itype is InodeType.DIR
                          else DEFAULT_FILE_MODE)
@@ -46,14 +52,6 @@ class Inode:
             self.children = {}
         if self.itype is InodeType.FILE and self.children is not None:
             raise ValueError("file inodes cannot have children")
-
-    @property
-    def is_dir(self) -> bool:
-        return self.itype is InodeType.DIR
-
-    @property
-    def is_file(self) -> bool:
-        return self.itype is InodeType.FILE
 
     @property
     def entry_count(self) -> int:

@@ -21,6 +21,7 @@ from .anchor import AnchorTable
 from .errors import (AlreadyExists, FileNotFound, InvalidOperation,
                      IsADirectory, NotADirectory, NotEmpty)
 from .inode import Inode, InodeType
+from .memo import ResolutionMemo
 from .path import Path
 
 ROOT_INO = 1
@@ -37,6 +38,15 @@ class Namespace:
         self._extra_links: Dict[int, Set[Tuple[int, str]]] = {}
         #: unlinked-while-open inodes, retained until released (§4.5)
         self._orphans: Dict[int, Inode] = {}
+        #: request-path fast lane (attached by the cluster when the fast
+        #: path is enabled); ``None`` means every resolve walks the tree
+        self._memo: Optional[ResolutionMemo] = None
+        #: bumped on every structural mutation (unlink/rename/orphan
+        #: release); consumers with coarse-grained caches keyed on
+        #: namespace structure (partition authority caches) compare it
+        #: instead of registering callbacks — an int survives ``deepcopy``
+        #: where a listener list would drag its subscribers along.
+        self.structure_epoch = 0
         root = self._new_inode(InodeType.DIR, parent_ino=ROOT_INO)
         assert root.ino == ROOT_INO
         self.root = root
@@ -65,8 +75,31 @@ class Namespace:
         return sum(1 for i in self._inodes.values() if i.is_file)
 
     def resolve(self, path: Path) -> Inode:
-        """Walk ``path`` from the root, returning the final inode."""
+        """Walk ``path`` from the root, returning the final inode.
+
+        With the fast lane attached (:meth:`enable_resolution_memo`) a
+        repeated resolution is one dict hit; the memo stores only
+        *successful* full resolutions, so error behaviour is untouched.
+        """
+        memo = self._memo
+        if memo is None:
+            node = self.root
+            for i, name in enumerate(path):
+                if not node.is_dir:
+                    raise NotADirectory(
+                        f"{pathmod.format_path(path[:i])} is not a directory")
+                child_ino = node.children.get(name)  # type: ignore[union-attr]
+                if child_ino is None:
+                    raise FileNotFound(pathmod.format_path(path[: i + 1]))
+                node = self._inodes[child_ino]
+            return node
+        hit = memo.paths.get(path)
+        if hit is not None:
+            memo.hits += 1
+            return hit[0]
+        memo.misses += 1
         node = self.root
+        walk: List[Inode] = []
         for i, name in enumerate(path):
             if not node.is_dir:
                 raise NotADirectory(
@@ -75,14 +108,35 @@ class Namespace:
             if child_ino is None:
                 raise FileNotFound(pathmod.format_path(path[: i + 1]))
             node = self._inodes[child_ino]
+            walk.append(node)
+        if walk:  # the root itself is never memoised (nor invalidated)
+            memo.store_path(path, tuple(walk))
         return node
 
     def try_resolve(self, path: Path) -> Optional[Inode]:
         """Like :meth:`resolve` but returns ``None`` instead of raising."""
+        memo = self._memo
+        if memo is not None:
+            hit = memo.paths.get(path)
+            if hit is not None:
+                memo.hits += 1
+                return hit[0]
         try:
             return self.resolve(path)
         except (FileNotFound, NotADirectory):
             return None
+
+    def subdir_names(self, node: Inode) -> List[str]:
+        """Names of ``node``'s directory children, in entry order."""
+        inodes = self._inodes
+        return [name for name, ino in node.children.items()  # type: ignore[union-attr]
+                if inodes[ino].is_dir]
+
+    def file_names(self, node: Inode) -> List[str]:
+        """Names of ``node``'s file children, in entry order."""
+        inodes = self._inodes
+        return [name for name, ino in node.children.items()  # type: ignore[union-attr]
+                if inodes[ino].is_file]
 
     def path_of(self, ino: int) -> Path:
         """Primary path of an inode (via embedding parents)."""
@@ -96,14 +150,44 @@ class Namespace:
         return tuple(reversed(parts))
 
     def ancestors(self, ino: int) -> List[Inode]:
-        """Ancestor directories of ``ino``, root first (excludes ``ino``)."""
+        """Ancestor directories of ``ino``, root first (excludes ``ino``).
+
+        Returns a fresh list on every call (callers extend it); with the
+        fast lane attached the chain itself comes from the memo.
+        """
+        memo = self._memo
+        if memo is not None:
+            cached = memo.chains.get(ino)
+            if cached is not None:
+                memo.hits += 1
+                return list(cached)
+            memo.misses += 1
         chain: List[Inode] = []
         node = self.inode(ino)
         while node.ino != ROOT_INO:
             node = self._inodes[node.parent_ino]
             chain.append(node)
         chain.reverse()
+        if memo is not None:
+            memo.store_chain(ino, tuple(chain))
         return chain
+
+    def ancestor_inos(self, ino: int) -> Tuple[int, ...]:
+        """Ancestor inos of ``ino``, root first (excludes ``ino``).
+
+        Ino-only twin of :meth:`ancestors` for callers that never touch
+        the inode objects; memo hits return a shared immutable tuple with
+        no per-call copy.  Do not mutate the result.
+        """
+        memo = self._memo
+        if memo is not None:
+            cached = memo.ino_chains.get(ino)
+            if cached is not None:
+                memo.hits += 1
+                return cached
+            self.ancestors(ino)  # miss: populate both chain caches
+            return memo.ino_chains[ino]
+        return tuple(node.ino for node in self.ancestors(ino))
 
     def is_ancestor_ino(self, candidate: int, ino: int) -> bool:
         """True if ``candidate`` is a proper ancestor directory of ``ino``."""
@@ -136,6 +220,31 @@ class Namespace:
         return sum(1 for _ in self.iter_subtree(ino))
 
     # ------------------------------------------------------------------
+    # request-path fast lane
+    # ------------------------------------------------------------------
+    @property
+    def resolution_memo(self) -> Optional[ResolutionMemo]:
+        """The attached fast-lane memo, or ``None`` when disabled."""
+        return self._memo
+
+    def enable_resolution_memo(self,
+                               capacity: int = 65536) -> ResolutionMemo:
+        """Attach (or return the existing) path-resolution memo."""
+        if self._memo is None:
+            self._memo = ResolutionMemo(capacity)
+        return self._memo
+
+    def disable_resolution_memo(self) -> None:
+        self._memo = None
+
+    def _structure_changed(self, ino: int) -> None:
+        """One dentry/chain mutation happened at ``ino``: precise-invalidate
+        the memo and bump the coarse epoch."""
+        self.structure_epoch += 1
+        if self._memo is not None:
+            self._memo.invalidate_ino(ino)
+
+    # ------------------------------------------------------------------
     # orphans (unlinked while open, §4.5)
     # ------------------------------------------------------------------
     def is_orphan(self, ino: int) -> bool:
@@ -150,6 +259,7 @@ class Namespace:
         if inode is None:
             raise KeyError(f"ino {ino} is not an orphan")
         del self._inodes[ino]
+        self._structure_changed(ino)
 
     # ------------------------------------------------------------------
     # mutations
@@ -223,6 +333,7 @@ class Namespace:
             del parent.children[name]  # type: ignore[union-attr]
             del self._inodes[child_ino]
             parent.mtime = max(parent.mtime, mtime)
+            self._structure_changed(child_ino)
             return
         # file unlink
         is_primary = (inode.parent_ino == parent.ino
@@ -257,6 +368,7 @@ class Namespace:
             self._orphans[child_ino] = inode
         else:
             del self._inodes[child_ino]
+        self._structure_changed(child_ino)
 
     def rename(self, old: Path, new: Path, mtime: float = 0.0) -> Inode:
         """Move/rename the entry at ``old`` to ``new``.
@@ -310,6 +422,7 @@ class Namespace:
             links = self._extra_links[child_ino]
             links.discard((old_parent.ino, old_name))
             links.add((new_parent.ino, new_name))
+        self._structure_changed(child_ino)
         return inode
 
     def chmod(self, path: Path, mode: int, mtime: float = 0.0) -> Inode:

@@ -46,6 +46,9 @@ class Tracer:
         # stream that happens to share the config seed
         self._rng = random.Random(seed ^ 0x0B5E7FED)
         self.latency_by_op: Dict[str, LatencyHistogram] = {}
+        #: op object (enum member or string) -> its histogram; skips the
+        #: per-call ``_op_name`` getattr on the request hot path
+        self._hist_for_op: Dict[object, LatencyHistogram] = {}
         self.latency_overall = LatencyHistogram()
         self.started = 0
         self.finished = 0
@@ -79,10 +82,13 @@ class Tracer:
     # -- latency histograms ------------------------------------------------
     def record_latency(self, op, seconds: float) -> None:
         """Record one completed request (always, independent of sampling)."""
-        name = _op_name(op)
-        hist = self.latency_by_op.get(name)
+        hist = self._hist_for_op.get(op)
         if hist is None:
-            hist = self.latency_by_op[name] = LatencyHistogram()
+            name = _op_name(op)
+            hist = self.latency_by_op.get(name)
+            if hist is None:
+                hist = self.latency_by_op[name] = LatencyHistogram()
+            self._hist_for_op[op] = hist
         hist.record(seconds)
         self.latency_overall.record(seconds)
 

@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import abc
 import zlib
-from typing import ClassVar, Optional
+from typing import ClassVar, Dict, Optional
 
+from .._fastpath import fastpath_enabled
 from ..namespace import Namespace
 from ..namespace import path as pathmod
 from ..namespace.path import Path
@@ -48,19 +49,52 @@ class Strategy(abc.ABC):
         self.n_mds = n_mds
         self.ns: Optional[Namespace] = None
         self.layout: Layout = DirectoryGrainLayout()
+        #: request-path fast lane: ino -> MDS memo, valid only while both
+        #: the namespace ``structure_epoch`` and the strategy's own partition
+        #: state are unchanged.  ``None`` when the fast lane is disabled.
+        self._auth_cache: Optional[Dict[int, int]] = None
+        self._auth_epoch = -1
 
     def bind(self, ns: Namespace) -> None:
         """Attach the namespace and build the initial partition."""
         self.ns = ns
+        self._auth_cache = {} if fastpath_enabled() else None
+        self._auth_epoch = -1
         self._setup()
 
     def _setup(self) -> None:
         """Hook: build initial partition state.  Default: nothing."""
 
     # -- the core query -----------------------------------------------------
-    @abc.abstractmethod
     def authority_of_ino(self, ino: int) -> int:
-        """MDS id authoritative for the given inode."""
+        """MDS id authoritative for the given inode.
+
+        Memoised per inode while the namespace structure and the partition
+        state stay put: any structural namespace mutation bumps
+        ``Namespace.structure_epoch`` (checked here), and every
+        partition-state mutation (delegate/undelegate/dirfrag/failover)
+        calls :meth:`_authority_changed`.
+        """
+        cache = self._auth_cache
+        if cache is None:
+            return self._authority_of_ino(ino)
+        epoch = self.ns.structure_epoch  # type: ignore[union-attr]
+        if epoch != self._auth_epoch:
+            cache.clear()
+            self._auth_epoch = epoch
+        mds = cache.get(ino)
+        if mds is None:
+            mds = cache[ino] = self._authority_of_ino(ino)
+        return mds
+
+    def _authority_changed(self) -> None:
+        """Partition state mutated: drop every memoised authority."""
+        if self._auth_cache is not None:
+            self._auth_cache.clear()
+
+    @abc.abstractmethod
+    def _authority_of_ino(self, ino: int) -> int:
+        """Compute the authoritative MDS for ``ino`` (uncached)."""
 
     def authority_of_path(self, path: Path) -> int:
         """Authority for the inode currently at ``path``."""

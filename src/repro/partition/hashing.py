@@ -39,7 +39,7 @@ class FileHashPartition(Strategy):
         self.layout = InodeGrainLayout()
         self._pending_moves: Set[int] = set()
 
-    def authority_of_ino(self, ino: int) -> int:
+    def _authority_of_ino(self, ino: int) -> int:
         assert self.ns is not None
         return stable_hash(self.ns.path_of(ino)) % self.n_mds
 
@@ -84,7 +84,7 @@ class DirHashPartition(FileHashPartition):
         super().__init__(n_mds)
         self.layout = DirectoryGrainLayout()
 
-    def authority_of_ino(self, ino: int) -> int:
+    def _authority_of_ino(self, ino: int) -> int:
         assert self.ns is not None
         node = self.ns.inode(ino)
         if node.is_dir:

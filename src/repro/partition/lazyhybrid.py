@@ -49,7 +49,7 @@ class LazyHybridPartition(Strategy):
         self._pending: Set[int] = set()
         self.stats = LazyUpdateStats()
 
-    def authority_of_ino(self, ino: int) -> int:
+    def _authority_of_ino(self, ino: int) -> int:
         assert self.ns is not None
         return stable_hash(self.ns.path_of(ino)) % self.n_mds
 

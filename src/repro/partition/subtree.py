@@ -39,6 +39,7 @@ class SubtreePartition(Strategy):
     def _setup(self) -> None:
         """Initial partition: hash directories near the root (§5.1)."""
         assert self.ns is not None
+        self._authority_changed()
         self.delegations = {ROOT_INO: 0}
         self.fragmented = set()
         for node in self.ns.iter_subtree(ROOT_INO):
@@ -50,7 +51,7 @@ class SubtreePartition(Strategy):
                 self.delegations[node.ino] = stable_hash(path) % self.n_mds
 
     # -- authority ------------------------------------------------------------
-    def authority_of_ino(self, ino: int) -> int:
+    def _authority_of_ino(self, ino: int) -> int:
         assert self.ns is not None
         node = self.ns.inode(ino)
         # Fragmented-directory override: a file's authority is defined by a
@@ -121,12 +122,14 @@ class DynamicSubtreePartition(SubtreePartition):
             raise ValueError("only directories can head a delegation")
         self.delegations[subtree_ino] = mds_id
         self._coalesce(subtree_ino)
+        self._authority_changed()
 
     def undelegate(self, subtree_ino: int) -> None:
         """Remove a nested delegation (the covering one takes over)."""
         if subtree_ino == ROOT_INO:
             raise ValueError("cannot undelegate the root")
         self.delegations.pop(subtree_ino, None)
+        self._authority_changed()
 
     def _coalesce(self, subtree_ino: int) -> None:
         """Drop nested delegations made redundant by a new delegation."""
@@ -159,7 +162,9 @@ class DynamicSubtreePartition(SubtreePartition):
         if not self.ns.inode(dir_ino).is_dir:
             raise ValueError("can only fragment directories")
         self.fragmented.add(dir_ino)
+        self._authority_changed()
 
     def unfragment_directory(self, dir_ino: int) -> None:
         """Consolidate a previously fragmented directory (§4.3)."""
         self.fragmented.discard(dir_ino)
+        self._authority_changed()

@@ -1,0 +1,111 @@
+"""Edge cases of the intrusive linked-list LRU (fast-lane rewrite).
+
+These pin down behaviours the OrderedDict implementation provided
+implicitly: recency order under mid-list prefetch insertion, overflow
+tolerance when every entry is pinned, and category accounting staying
+consistent across evictions.
+"""
+
+import pytest
+
+from repro.cache import MetadataCache
+
+
+def test_all_entries_pinned_overflow_and_recovery():
+    cache = MetadataCache(2)
+    cache.insert(1, None, True)
+    cache.insert(2, 1, True)
+    cache.pin(2)  # 1 is pinned by its child, 2 externally
+    # nothing evictable: inserts overflow instead of evicting
+    evicted = cache.insert(3, 2, False)
+    assert evicted == []
+    cache.pin(3)
+    assert cache.insert(4, 2, False) == []
+    cache.pin(4)
+    assert cache.overflowed and len(cache) == 4
+    assert cache._lru_order() == []
+    cache.verify_invariants()
+    # releasing a pin resolves the pressure immediately
+    dropped = cache.unpin(3)
+    assert [e.ino for e in dropped] == [3]
+    assert len(cache) == 3  # still one over; 4 is pinned, 1/2 have children
+    dropped = cache.unpin(4)
+    assert [e.ino for e in dropped] == [4]
+    assert len(cache) == 2 and not cache.overflowed
+    cache.verify_invariants()
+
+
+def test_prefetch_inserts_at_cold_end():
+    cache = MetadataCache(10)
+    cache.insert(1, None, True)
+    cache.insert(2, 1, False)
+    cache.insert(3, 1, False)
+    # prefetched entries jump the queue for eviction: cold end, not hot
+    cache.insert(4, 1, False, prefetched=True)
+    assert cache._lru_order() == [4, 2, 3]
+    cache.verify_invariants()
+
+
+def test_prefetch_insertion_preserves_relative_order():
+    cache = MetadataCache(10)
+    cache.insert(1, None, True)
+    for ino in (2, 3, 4):
+        cache.insert(ino, 1, False)
+    cache.get(2)  # coldest->hottest is now 3, 4, 2
+    cache.insert(5, 1, False, prefetched=True)
+    cache.insert(6, 1, False)
+    assert cache._lru_order() == [5, 3, 4, 2, 6]
+    # and eviction follows exactly that order
+    cache.capacity = 4  # shrink-on-next-insert
+    evicted = cache.insert(7, 1, False)
+    assert [e.ino for e in evicted] == [5, 3, 4]
+    cache.verify_invariants()
+
+
+def test_prefetch_reinsert_does_not_touch():
+    cache = MetadataCache(10)
+    cache.insert(1, None, True)
+    cache.insert(2, 1, False)
+    cache.insert(3, 1, False)
+    # re-inserting 2 as a prefetch must NOT refresh its recency
+    cache.insert(2, 1, False, prefetched=True)
+    assert cache._lru_order() == [2, 3]
+    # ...while a demand re-insert does
+    cache.insert(2, 1, False)
+    assert cache._lru_order() == [3, 2]
+    cache.verify_invariants()
+
+
+def test_category_accounting_after_eviction():
+    cache = MetadataCache(4)
+    cache.insert(1, None, True)
+    cache.insert(2, 1, True)
+    cache.insert(3, 2, False, replica=True)
+    cache.insert(4, 2, False)
+    census = cache.slot_census()
+    assert census == {"local_prefix": 2, "local_other": 1,
+                      "replica_prefix": 0, "replica_other": 1}
+    assert cache.prefix_fraction() == pytest.approx(0.5)
+    assert cache.replica_fraction() == pytest.approx(0.25)
+    # force the replica leaf (coldest) out
+    evicted = cache.insert(5, 2, False)
+    assert [e.ino for e in evicted] == [3]
+    census = cache.slot_census()
+    assert census == {"local_prefix": 2, "local_other": 2,
+                      "replica_prefix": 0, "replica_other": 0}
+    assert cache.replica_fraction() == 0.0
+    assert cache.prefix_fraction() == pytest.approx(0.5)
+    cache.verify_invariants()
+
+
+def test_evicting_leaf_unpins_prefix_into_lru():
+    cache = MetadataCache(10)
+    cache.insert(1, None, True)
+    cache.insert(2, 1, True)
+    cache.insert(3, 2, False)
+    assert cache._lru_order() == [3]  # 1 and 2 are pinned prefixes
+    cache.remove(3)
+    # 2 lost its last child: it re-enters the LRU as a cold candidate
+    assert cache._lru_order() == [2]
+    assert cache.get(2, touch=False).pin_count == 0
+    cache.verify_invariants()

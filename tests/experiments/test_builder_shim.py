@@ -1,0 +1,42 @@
+"""The deprecated ``repro.experiments.builder`` shim warns and forwards."""
+
+import importlib
+import sys
+import warnings
+
+import pytest
+
+
+def _fresh_import():
+    sys.modules.pop("repro.experiments.builder", None)
+    return importlib.import_module
+
+
+def test_shim_emits_deprecation_warning():
+    imp = _fresh_import()
+    with pytest.warns(DeprecationWarning,
+                      match="repro.experiments.builder is deprecated"):
+        imp("repro.experiments.builder")
+
+
+def test_shim_forwards_to_build_module():
+    imp = _fresh_import()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        legacy = imp("repro.experiments.builder")
+    from repro.experiments import _build
+    assert legacy.Simulation is _build.Simulation
+    assert legacy.build_simulation is _build.build_simulation
+    assert legacy.__all__ == ["Simulation", "build_simulation"]
+
+
+def test_shim_import_is_idempotent():
+    imp = _fresh_import()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        first = imp("repro.experiments.builder")
+    # a second import hits sys.modules: no new warning, same module object
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        second = importlib.import_module("repro.experiments.builder")
+    assert second is first

@@ -1,0 +1,50 @@
+"""The request-path fast lane must be invisible to results.
+
+``REPRO_FASTPATH=0`` (reference walks, no memo, no authority cache) and
+``REPRO_FASTPATH=1`` must produce bit-identical summaries for the same
+seed: the fast lane is pure memoisation, never a behaviour change.  The
+switch is read at wiring time, so each mode gets its own build.
+"""
+
+import pytest
+
+from repro._fastpath import FASTPATH_ENV, fastpath_enabled
+from repro.api import build_simulation, scaling_config
+
+
+def _summary_for(monkeypatch, fastpath: bool):
+    monkeypatch.setenv(FASTPATH_ENV, "1" if fastpath else "0")
+    assert fastpath_enabled() is fastpath
+    cfg = scaling_config("DynamicSubtree", 4, 0.1, seed=42)
+    sim = build_simulation(cfg)
+    sim.run_to(cfg.run_until_s)
+    return sim
+
+def test_fixed_seed_summaries_identical(monkeypatch):
+    off = _summary_for(monkeypatch, False)
+    on = _summary_for(monkeypatch, True)
+    assert repr(off.summary()) == repr(on.summary())
+
+
+def test_fastpath_wiring_follows_env(monkeypatch):
+    off = _summary_for(monkeypatch, False)
+    assert off.cluster.ns.resolution_memo is None
+    on = _summary_for(monkeypatch, True)
+    memo = on.cluster.ns.resolution_memo
+    assert memo is not None
+    assert memo.hits > 0  # the run actually exercised the fast lane
+    memo.verify_invariants()
+
+
+@pytest.mark.parametrize("token,expected", [
+    ("0", False), ("off", False), ("FALSE", False), ("no", False),
+    ("1", True), ("on", True), ("anything", True),
+])
+def test_fastpath_env_tokens(monkeypatch, token, expected):
+    monkeypatch.setenv(FASTPATH_ENV, token)
+    assert fastpath_enabled() is expected
+
+
+def test_fastpath_defaults_on(monkeypatch):
+    monkeypatch.delenv(FASTPATH_ENV, raising=False)
+    assert fastpath_enabled() is True

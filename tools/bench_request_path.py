@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Benchmark the request-path fast lane and write ``BENCH_request_path.json``.
+
+Times the single-run workhorse configuration (DynamicSubtree, 4 MDS,
+scale 0.2, seed 42 — the same run ``bench_sweep.py`` reports) with the
+fast lane off (``REPRO_FASTPATH=0``) and on (default), best wall-clock of
+``--repeat`` runs each, and checks that both modes produce bit-identical
+summaries.  The fast lane is pure memoisation — resolution memo, strategy
+authority cache — so any divergence is a bug, and the tool exits non-zero
+on it.
+
+The headline number is ``fastpath_on.sim_ops_per_wall_s`` compared against
+the recorded pre-fast-lane baseline (``BASELINE_SIM_OPS_PER_WALL_S``,
+measured at the parallel-executor PR on the reference box).  Absolute
+ops/s varies with hardware; the on/off speedup on the same box is the
+portable signal.
+
+Usage:
+    PYTHONPATH=src python tools/bench_request_path.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+
+from repro._fastpath import FASTPATH_ENV
+from repro.api import run_steady_state, scaling_config
+from repro.experiments._build import build_simulation
+
+#: single-run sim-ops/wall-s recorded at the parallel-executor PR
+#: (pre-fast-lane), same config and box as CI's bench job.
+BASELINE_SIM_OPS_PER_WALL_S = 13891.3
+
+
+def bench_mode(cfg, fastpath: bool, repeat: int):
+    """Best-of-``repeat`` wall time for one steady-state run."""
+    os.environ[FASTPATH_ENV] = "1" if fastpath else "0"
+    walls = []
+    result = None
+    for _ in range(max(1, repeat)):
+        t0 = time.perf_counter()
+        result = run_steady_state(cfg)
+        walls.append(time.perf_counter() - t0)
+    return result, min(walls)
+
+
+def equivalence_check(cfg):
+    """Full-summary comparison between the two modes (plus memo stats)."""
+    summaries = {}
+    memo_stats = None
+    for fastpath in (False, True):
+        os.environ[FASTPATH_ENV] = "1" if fastpath else "0"
+        sim = build_simulation(cfg)
+        sim.run_to(cfg.run_until_s)
+        summaries[fastpath] = repr(sim.summary())
+        if fastpath:
+            memo = sim.cluster.ns.resolution_memo
+            memo_stats = memo.stats() if memo is not None else None
+    return summaries[False] == summaries[True], memo_stats
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repeats for CI")
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--repeat", type=int, default=None,
+                        help="timing repeats per mode (min wins; "
+                             "default 2 quick, 3 full)")
+    parser.add_argument("--out", default="BENCH_request_path.json")
+    args = parser.parse_args(argv)
+    repeat = args.repeat if args.repeat is not None else \
+        (2 if args.quick else 3)
+
+    cfg = scaling_config("DynamicSubtree", 4, args.scale, seed=42)
+    prior_env = os.environ.get(FASTPATH_ENV)
+    try:
+        off, off_wall = bench_mode(cfg, False, repeat)
+        print(f"fastpath off: {off.total_ops} ops in {off_wall:.3f}s "
+              f"-> {off.total_ops / off_wall:.0f} sim-ops/wall-s")
+        on, on_wall = bench_mode(cfg, True, repeat)
+        print(f"fastpath on:  {on.total_ops} ops in {on_wall:.3f}s "
+              f"-> {on.total_ops / on_wall:.0f} sim-ops/wall-s")
+        identical, memo_stats = equivalence_check(cfg)
+    finally:
+        if prior_env is None:
+            os.environ.pop(FASTPATH_ENV, None)
+        else:
+            os.environ[FASTPATH_ENV] = prior_env
+
+    on_rate = on.total_ops / on_wall
+    off_rate = off.total_ops / off_wall
+    vs_baseline = on_rate / BASELINE_SIM_OPS_PER_WALL_S
+    print(f"on/off speedup {on_rate / off_rate:.2f}x   "
+          f"vs recorded baseline {vs_baseline:.2f}x   "
+          f"identical summaries: {identical}")
+    if memo_stats is not None:
+        lookups = memo_stats["hits"] + memo_stats["misses"]
+        rate = memo_stats["hits"] / lookups if lookups else 0.0
+        print(f"resolution memo: {memo_stats['entries']} entries, "
+              f"hit rate {rate:.1%}, "
+              f"{memo_stats['invalidations']} invalidations")
+
+    report = {
+        "benchmark": "request-path fast lane",
+        "quick": args.quick,
+        "scale": args.scale,
+        "repeats": repeat,
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "baseline_sim_ops_per_wall_s": BASELINE_SIM_OPS_PER_WALL_S,
+        "fastpath_off": {
+            "total_ops": off.total_ops,
+            "wall_s": round(off_wall, 3),
+            "sim_ops_per_wall_s": round(off_rate, 1),
+        },
+        "fastpath_on": {
+            "total_ops": on.total_ops,
+            "wall_s": round(on_wall, 3),
+            "sim_ops_per_wall_s": round(on_rate, 1),
+        },
+        "speedup_on_vs_off": round(on_rate / off_rate, 3),
+        "speedup_vs_baseline": round(vs_baseline, 3),
+        "identical_summaries": identical,
+        "resolution_memo": memo_stats,
+    }
+    with open(args.out, "w", encoding="utf-8") as fp:
+        json.dump(report, fp, indent=2)
+        fp.write("\n")
+    print(f"report written to {args.out}")
+    if not identical:
+        print("ERROR: fast-lane summaries diverged from the reference path")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

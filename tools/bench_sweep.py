@@ -74,11 +74,22 @@ def main(argv=None) -> int:
 
     serial_s, serial_results = time_sweep(configs, "serial")
     print(f"  serial   {serial_s:.2f}s")
-    parallel_s, parallel_results = time_sweep(configs, "parallel")
-    print(f"  parallel {parallel_s:.2f}s")
-    identical = serial_results == parallel_results
-    speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
-    print(f"  speedup {speedup:.2f}x   identical results: {identical}")
+    # On a single-CPU host the process pool can only add overhead (the
+    # auto resolve_mode stays serial there for the same reason), so
+    # benchmarking it would just record a meaningless slowdown.
+    parallel_viable = cpus > 1
+    if parallel_viable:
+        parallel_s, parallel_results = time_sweep(configs, "parallel")
+        print(f"  parallel {parallel_s:.2f}s")
+        identical = serial_results == parallel_results
+        speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+        print(f"  speedup {speedup:.2f}x   identical results: {identical}")
+    else:
+        parallel_s = None
+        identical = True
+        speedup = None
+        print("  1 CPU: parallel sweep skipped (pool would only add "
+              "overhead); recording parallel_viable=false")
 
     single_cfg = configs[0]
     walls = []
@@ -102,8 +113,10 @@ def main(argv=None) -> int:
             "n_configs": len(configs),
             "total_sim_ops": sum(r.total_ops for r in serial_results),
             "serial_s": round(serial_s, 3),
-            "parallel_s": round(parallel_s, 3),
-            "speedup": round(speedup, 3),
+            "parallel_viable": parallel_viable,
+            "parallel_s": round(parallel_s, 3) if parallel_s is not None
+            else None,
+            "speedup": round(speedup, 3) if speedup is not None else None,
         },
         "single_run": {
             "total_ops": single.total_ops,
