@@ -11,10 +11,12 @@ prefix), learning from the distribution info replies carry (§4.4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from sys import getrefcount
 from typing import Any, Generator, List, Optional, Protocol
 
 from ..mds import MdsCluster, MdsReply, MdsRequest
 from ..mds.messages import OpType
+from ..namespace.path import Path
 from ..sim import Environment, Event
 from .location import LocationCache
 
@@ -61,14 +63,53 @@ class Client:
         self.last_opened = None      # path of the most recent OPEN
         self.last_opened_ino = None  # its handle (passed back on CLOSE)
         self.scratch: dict = {}      # per-client workload state
+        #: recycled request object (fast lane): a closed-loop client has at
+        #: most one request in flight, so one spare slot absorbs the entire
+        #: steady-state MdsRequest churn
+        self._spare: Optional[MdsRequest] = None
 
     def start(self) -> None:
         self.env.process(self.run())
+
+    def make_request(self, op: OpType, path: Path, *,
+                     dst_path: Optional[Path] = None,
+                     mode: Optional[int] = None,
+                     size: Optional[int] = None,
+                     ino: Optional[int] = None,
+                     dir_hint: bool = False) -> MdsRequest:
+        """Build the client's next request, reusing the spare slot if set.
+
+        Workloads should construct requests through this so the per-op
+        ``MdsRequest`` allocation disappears in steady state; a fresh object
+        is returned whenever no recycled one is available.
+        """
+        spare = self._spare
+        if spare is not None:
+            self._spare = None
+            spare.op = op
+            spare.path = path
+            spare.client_id = self.client_id
+            spare.uid = self.uid
+            spare.dst_path = dst_path
+            spare.mode = mode
+            spare.size = size
+            spare.ino = ino
+            spare.done = None
+            spare.submitted_at = 0.0
+            spare.hops = 0
+            spare.enqueued_at = 0.0
+            spare.trace = None
+            spare.dir_hint = dir_hint
+            return spare
+        return MdsRequest(op=op, path=path, client_id=self.client_id,
+                          uid=self.uid, dst_path=dst_path, mode=mode,
+                          size=size, ino=ino, dir_hint=dir_hint)
 
     def run(self) -> Generator[Event, Any, None]:
         env = self.env
         workload = self.workload
         cluster = self.cluster
+        recycle = env.fastlane
         while True:
             delay = workload.next_delay(self)
             if delay > 0:
@@ -83,9 +124,13 @@ class Client:
                 request.trace = tracer.maybe_trace(
                     request.op, request.path, self.client_id, env.now)
             dest = self._destination(request)
-            done = cluster.submit(dest, request)
-            reply: MdsReply = yield done
+            reply: MdsReply = yield cluster.submit(dest, request)
             self._absorb(request, reply)
+            if recycle:
+                request.done = None  # free the completion event for pooling
+                if self._spare is None and getrefcount(request) == 2:
+                    # only this frame still sees the object: safe to reuse
+                    self._spare = request
 
     # ------------------------------------------------------------------
     def _destination(self, request: MdsRequest) -> int:

@@ -72,14 +72,13 @@ class GeneralWorkload:
         # metadata sequences (§2.2): drain a pending stat burst first
         pending = state.get("pending_stats")
         if pending:
-            return MdsRequest(op=OpType.STAT, path=pending.pop(),
-                              client_id=client.client_id)
+            return client.make_request(OpType.STAT, pending.pop())
         if rng.random() < self.spec.move_dir_prob:
             self._move_cwd(state, rng)
         cwd = self._valid_cwd(state)
         if (self.shared_roots
                 and rng.random() < self.spec.shared_tree_prob):
-            return self._shared_tree_op(rng, client.client_id)
+            return self._shared_tree_op(rng, client)
         op = self.mix.sample(rng)
         return self._build(op, cwd, state, client)
 
@@ -145,8 +144,7 @@ class GeneralWorkload:
                 picked = rng.sample(names, count)
                 state["pending_stats"] = [pathmod.join(cwd, n)
                                           for n in picked]
-            return MdsRequest(op=op, path=cwd, client_id=client.client_id,
-                              dir_hint=True)
+            return client.make_request(op, cwd, dir_hint=True)
         if op is OpType.CLOSE:
             request = self._close_oldest(state, client)
             if request is not None:
@@ -156,15 +154,13 @@ class GeneralWorkload:
             state["created"] += 1
             name = f"c{client.client_id}_{state['created']}"
             make_dir = rng.random() < self.spec.mkdir_fraction
-            return MdsRequest(
-                op=OpType.MKDIR if make_dir else OpType.CREATE,
-                path=pathmod.join(cwd, name + ("" if make_dir else ".dat")),
-                client_id=client.client_id,
+            return client.make_request(
+                OpType.MKDIR if make_dir else OpType.CREATE,
+                pathmod.join(cwd, name + ("" if make_dir else ".dat")),
                 size=None if make_dir else rng.randrange(1, 1 << 20))
         if op is OpType.CHMOD and rng.random() < self.spec.dir_chmod_fraction:
             mode = rng.choice([0o755, 0o750, 0o700])
-            return MdsRequest(op=op, path=cwd, mode=mode,
-                              client_id=client.client_id, dir_hint=True)
+            return client.make_request(op, cwd, mode=mode, dir_hint=True)
 
         target = self._pick_file(cwd, rng)
         if target is None:
@@ -173,28 +169,24 @@ class GeneralWorkload:
         if op is OpType.RENAME:
             state["created"] += 1
             dst = pathmod.join(cwd, f"r{client.client_id}_{state['created']}")
-            return MdsRequest(op=op, path=target, dst_path=dst,
-                              client_id=client.client_id)
+            return client.make_request(op, target, dst_path=dst)
         if op is OpType.LINK:
             state["created"] += 1
             dst = pathmod.join(cwd, f"l{client.client_id}_{state['created']}")
-            return MdsRequest(op=op, path=target, dst_path=dst,
-                              client_id=client.client_id)
+            return client.make_request(op, target, dst_path=dst)
         if op is OpType.CHMOD:
             mode = rng.choice([0o644, 0o640, 0o600])
-            return MdsRequest(op=op, path=target, mode=mode,
-                              client_id=client.client_id)
+            return client.make_request(op, target, mode=mode)
         if op is OpType.SETATTR:
-            return MdsRequest(op=op, path=target,
-                              size=rng.randrange(1, 1 << 20),
-                              client_id=client.client_id)
+            return client.make_request(op, target,
+                                       size=rng.randrange(1, 1 << 20))
         if op is OpType.OPEN:
             # bounded fd table: close the oldest handle when full
             stack = state.setdefault("open_stack", [])
             if len(stack) >= self.spec.max_open_files:
                 return self._close_oldest(state, client)
             stack.append(target)
-        return MdsRequest(op=op, path=target, client_id=client.client_id)
+        return client.make_request(op, target)
 
     def _close_oldest(self, state: dict,
                       client: Client) -> Optional[MdsRequest]:
@@ -205,8 +197,7 @@ class GeneralWorkload:
         path = stack.pop(0)
         ino = (client.last_opened_ino
                if path == client.last_opened else None)
-        return MdsRequest(op=OpType.CLOSE, path=path, ino=ino,
-                          client_id=client.client_id)
+        return client.make_request(OpType.CLOSE, path, ino=ino)
 
     def _pick_file(self, cwd: Path, rng: random.Random) -> Optional[Path]:
         node = self.ns.try_resolve(cwd)
@@ -218,10 +209,10 @@ class GeneralWorkload:
         return pathmod.join(cwd, rng.choice(files))
 
     def _shared_tree_op(self, rng: random.Random,
-                        client_id: int) -> Optional[MdsRequest]:
+                        client: Client) -> Optional[MdsRequest]:
         root = rng.choice(self.shared_roots)
         target = self._pick_file(root, rng)
         if target is None:
             return None
         op = OpType.OPEN if rng.random() < 0.7 else OpType.STAT
-        return MdsRequest(op=op, path=target, client_id=client_id)
+        return client.make_request(op, target)

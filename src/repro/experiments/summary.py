@@ -8,7 +8,7 @@ into ``sim.cluster.nodes[*].stats`` by hand.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..metrics import EMPTY_SUMMARY, LatencySummary, format_table
@@ -41,6 +41,13 @@ class ClusterSummary:
     latency: LatencySummary                  # all ops pooled
     latency_by_op: Dict[str, LatencySummary]  # op name -> digest
     total_metadata: int
+    #: event-kernel counters (events scheduled, fast-lane resumes, pool
+    #: reuse) from :meth:`Environment.kernel_stats`.  Excluded from repr
+    #: and comparison: they describe how the run was *executed*, not what
+    #: it computed, and must not break the fast-lane equivalence contract
+    #: (identical summary reprs in both modes).
+    kernel: Optional[Dict[str, float]] = field(default=None, repr=False,
+                                               compare=False)
 
     @property
     def latency_p50_s(self) -> float:
@@ -124,4 +131,5 @@ def summarize_simulation(sim: "Simulation",
         latency=overall,
         latency_by_op=by_op,
         total_metadata=sim.total_metadata,
+        kernel=sim.env.kernel_stats(),
     )

@@ -20,6 +20,7 @@ from ..sim import Environment, Event
 from ..storage import ObjectStore
 from .config import SimParams
 from .dirfrag import DirFragManager
+from .distmemo import DistributionMemo
 from .loadbalance import LoadBalancer
 from .messages import MdsReply, MdsRequest
 from .node import MdsNode
@@ -57,6 +58,19 @@ class MdsCluster:
             read_s=params.disk_read_s, write_s=params.disk_write_s)
         #: inos replicated on every node by traffic control (§4.4)
         self.hot_inos: Set[int] = set()
+        #: path -> distribution-info mapping, shared by all nodes (the info
+        #: depends only on global state: namespace structure, partition
+        #: state, hot set).  Invalidated precisely: the namespace reports
+        #: structural mutations per ino, hot-set toggles invalidate the
+        #: toggled ino, and partition-state changes (``_auth_gen``) clear
+        #: it wholesale.  ``None`` when the fast lane is off (reference
+        #: mode computes per reply).
+        self._dist_memo: Optional[DistributionMemo] = (
+            DistributionMemo() if env.fastlane else None)
+        if self._dist_memo is not None:
+            ns.attach_structure_watcher(self._dist_memo)
+        #: the strategy generation the memo was last cleared at
+        self._dist_auth_gen = -1
         #: unlinked-while-open inodes -> the node retaining them (§4.5)
         self.orphan_authorities: Dict[int, int] = {}
         self.deferred_work_created = 0
@@ -145,9 +159,11 @@ class MdsCluster:
         if request.trace is not None:
             request.trace.add("net.hop", now, request.enqueued_at,
                               node=node_id)
-        timer = self.env.timeout(self.params.net_hop_s)
-        inbox = self.nodes[node_id].inbox
-        timer.callbacks.append(lambda _ev: inbox.put(request))
+        # The request rides the delivering timeout as its value and a
+        # prebound Store method enqueues it on arrival — no closure per
+        # message.
+        timer = self.env.timeout(self.params.net_hop_s, request)
+        timer.callbacks.append(self.nodes[node_id].inbox._put_from_event)
 
     def reply_later(self, request: MdsRequest, reply: MdsReply) -> None:
         """Complete a request's done-event after one network hop."""
@@ -158,8 +174,18 @@ class MdsCluster:
             request.trace.add("net.reply", now,
                               now + self.params.net_hop_s,
                               node=reply.served_by)
-        timer = self.env.timeout(self.params.net_hop_s)
-        timer.callbacks.append(lambda _ev: done.succeed(reply))
+        env = self.env
+        if env.fastlane:
+            # One calendar entry instead of two: the done event itself is
+            # scheduled one hop out, already carrying the reply, instead
+            # of a timer whose callback re-schedules it at arrival time.
+            done._triggered = True
+            done._ok = True
+            done._value = reply
+            env.schedule(done, delay=self.params.net_hop_s)
+        else:
+            timer = env.timeout(self.params.net_hop_s)
+            timer.callbacks.append(lambda _ev: done.succeed(reply))
 
     def on_deferred_work(self, count: int) -> None:
         """Strategies report lazily-owed updates here (visibility only)."""
@@ -183,8 +209,12 @@ class MdsCluster:
                 value = self.nodes[authority].popularity.read(ino, now)
                 if value < self.params.unreplicate_threshold:
                     cooled.append(ino)
-            for ino in cooled:
-                self.hot_inos.discard(ino)
+            if cooled:
+                memo = self._dist_memo
+                for ino in cooled:
+                    self.hot_inos.discard(ino)
+                    if memo is not None:
+                        memo.invalidate_ino(ino)
 
     def _lazy_update_drainer(self) -> Generator[Event, Any, None]:
         """Background propagation of Lazy Hybrid's owed updates (§3.1.3).

@@ -1,0 +1,135 @@
+"""Cluster-wide memo of reply distribution info (§4.4 location hints).
+
+``MdsNode._distribution_info`` walks the dentry tree once per reply to
+build the ``prefix -> authority`` hints clients learn from.  The result
+is a pure function of global state — namespace structure, partition
+state, hot set — so :class:`DistributionMemo` caches one mapping per
+path, shared read-only by every reply for that path (like
+``EMPTY_LOCATIONS``).
+
+Invalidation mirrors :class:`~repro.namespace.memo.ResolutionMemo`:
+every entry is indexed by each inode on its resolved walk, and
+``invalidate_ino`` drops exactly the entries passing through a mutated
+inode.  It is driven from three places:
+
+* **structural mutations** — the namespace broadcasts
+  ``_structure_changed(ino)`` to registered listeners (the memo is one);
+* **hot-set membership changes** — ``_replicate_everywhere`` /
+  ``_invalidate_replicas`` / the hot-set sweeper invalidate the toggled
+  ino (its hint flips between ``ANY_NODE`` and the owner);
+* **partition-state mutations** — ``Strategy._authority_changed()``
+  bumps ``_auth_gen``; the caller clears the whole memo, because a
+  delegation/fragment change can move ownership anywhere.
+
+Dentry *additions* never invalidate: a new entry can only extend a walk
+that ended early, so entries for fully-resolved walks are immune while
+truncated entries carry the ``dentry_add_epoch`` they were computed at
+and are revalidated against it on lookup.
+
+This precision contract assumes an inode's authority depends only on
+its ancestor chain and partition state (true of subtree partitioning
+and every built-in strategy); a strategy violating that must call
+``_authority_changed()`` on the mutations the memo cannot see — the
+same rule the base authority cache already imposes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Set, Tuple
+
+from ..namespace.path import Path
+
+#: entry: (complete walk?, dentry_add_epoch at compute, info, walk inos)
+_Entry = Tuple[bool, int, Mapping, Tuple[int, ...]]
+
+
+class DistributionMemo:
+    """Bounded ino-indexed memo of per-path distribution info."""
+
+    __slots__ = ("capacity", "entries", "_deps",
+                 "hits", "misses", "invalidations")
+
+    def __init__(self, capacity: int = 16384) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.entries: Dict[Path, _Entry] = {}
+        #: ino -> paths whose walk passes through it
+        self._deps: Dict[int, Set[Path]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # ------------------------------------------------------------------
+    # lookup / recording  (the hit path is inlined in ``MdsNode``)
+    # ------------------------------------------------------------------
+    def store(self, path: Path, complete: bool, dentry_epoch: int,
+              info: Mapping, walk_inos: Tuple[int, ...]) -> None:
+        if path in self.entries:       # re-store after a stale truncation
+            self._drop(path)
+        while len(self.entries) >= self.capacity:
+            self._drop(next(iter(self.entries)))
+        self.entries[path] = (complete, dentry_epoch, info, walk_inos)
+        deps = self._deps
+        for ino in walk_inos:
+            bucket = deps.get(ino)
+            if bucket is None:
+                bucket = deps[ino] = set()
+            bucket.add(path)
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def invalidate_ino(self, ino: int) -> int:
+        """Drop every entry whose walk passes through ``ino``."""
+        paths = self._deps.pop(ino, None)
+        if not paths:
+            return 0
+        dropped = 0
+        for path in list(paths):
+            if self._drop(path):
+                dropped += 1
+        self.invalidations += dropped
+        return dropped
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self._deps.clear()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _drop(self, path: Path) -> bool:
+        entry = self.entries.pop(path, None)
+        if entry is None:
+            return False
+        deps = self._deps
+        for ino in entry[3]:
+            bucket = deps.get(ino)
+            if bucket is not None:
+                bucket.discard(path)
+                if not bucket:
+                    del deps[ino]
+        return True
+
+    # ------------------------------------------------------------------
+    # introspection (tests, bench report)
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self.entries), "hits": self.hits,
+                "misses": self.misses, "invalidations": self.invalidations}
+
+    def verify_invariants(self) -> None:
+        """Raise ``AssertionError`` on index inconsistency (tests only)."""
+        expected: Dict[int, Set[Path]] = {}
+        for path, entry in self.entries.items():
+            for ino in entry[3]:
+                expected.setdefault(ino, set()).add(path)
+        assert self._deps == expected, (
+            f"dep index mismatch: {self._deps} != {expected}")
+
+
+__all__ = ["DistributionMemo"]

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional, Union
+from types import MappingProxyType
+from typing import TYPE_CHECKING, Mapping, Optional, Union
 
 from ..namespace.path import Path
 from ..sim import Event
@@ -15,6 +16,18 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Location marker in distribution info: item is replicated on every node,
 #: contact any of them (§4.4).
 ANY_NODE = -1
+
+#: Shared immutable empty distribution info.  Most replies carry no location
+#: hints (the client already knew where to go), so allocating a fresh dict
+#: per reply via ``default_factory`` was pure churn; every such reply now
+#: shares this one read-only mapping.
+EMPTY_LOCATIONS: Mapping[Path, int] = MappingProxyType({})
+
+
+def _empty_locations() -> Mapping[Path, int]:
+    # dataclasses treat a mappingproxy default as mutable (it is unhashable),
+    # so the shared singleton is handed out through a factory instead.
+    return EMPTY_LOCATIONS
 
 
 class OpType(enum.Enum):
@@ -88,7 +101,8 @@ class MdsReply:
     #: placement, §2.1.1)
     target_ino: Optional[int] = None
     #: distribution info (§4.4): path prefix -> MDS id or ANY_NODE.  Clients
-    #: cache this to direct future requests.
-    locations: Dict[Path, int] = field(default_factory=dict)
+    #: cache this to direct future requests.  Read-only by convention; the
+    #: shared :data:`EMPTY_LOCATIONS` stands in when there are no hints.
+    locations: Mapping[Path, int] = field(default_factory=_empty_locations)
     forwarded: int = 0                # hops this request took
     latency_s: float = 0.0

@@ -29,7 +29,8 @@ from ..namespace import path as pathmod
 from ..sim import Environment, Event, Resource, Store
 from ..storage import DiskDevice, Journal
 from .config import SimParams
-from .messages import ANY_NODE, MdsReply, MdsRequest, OpType
+from .messages import (ANY_NODE, EMPTY_LOCATIONS, MdsReply, MdsRequest,
+                       OpType)
 from .popularity import PopularityMap
 from .stats import NodeStats
 
@@ -90,8 +91,23 @@ class MdsNode:
     def _worker(self) -> Generator[Event, Any, None]:
         inbox = self.inbox
         handle = self._handle
+        if self.env.fastlane:
+            # Batch inbox draining: one wakeup serves every already-queued
+            # message before blocking again, eliding the per-item get()
+            # event.  Service order is unchanged — get_nowait() pops the
+            # same FIFO the reference get() path would have handed over
+            # one URGENT event at a time.
+            get_nowait = inbox.get_nowait
+            while True:
+                request: MdsRequest = yield inbox.get()
+                yield from handle(request)
+                while True:
+                    queued = get_nowait()
+                    if queued is None:
+                        break
+                    yield from handle(queued)
         while True:
-            request: MdsRequest = yield inbox.get()
+            request = yield inbox.get()
             yield from handle(request)
 
     # ------------------------------------------------------------------
@@ -115,7 +131,11 @@ class MdsNode:
         target, authority, error = self._locate(req)
         if error is not None:
             t0 = self.env.now
-            yield from self.cpu.use(self.params.cpu_op_s)
+            hold = self.cpu.acquire(self.params.cpu_op_s)
+            if hold is not None:  # uncontended: one event, no sub-generator
+                yield hold
+            else:
+                yield from self.cpu.use(self.params.cpu_op_s)
             if trace is not None:
                 trace.add("node.cpu", t0, self.env.now, node=self.node_id,
                           detail="locate-error")
@@ -133,8 +153,12 @@ class MdsNode:
                 trace.bump("replica.read")
 
         t0 = self.env.now
-        yield from self.cpu.use(
-            self.params.cpu_op_s / self.params.speed_of(self.node_id))
+        service_s = self.params.cpu_op_s / self.params.speed_of(self.node_id)
+        hold = self.cpu.acquire(service_s)
+        if hold is not None:  # uncontended: one event, no sub-generator
+            yield hold
+        else:
+            yield from self.cpu.use(service_s)
         if trace is not None:
             trace.add("node.cpu", t0, self.env.now, node=self.node_id)
 
@@ -240,7 +264,11 @@ class MdsNode:
                  authority: int) -> Generator[Event, Any, None]:
         """Pass a misdirected request to its authority (§5.3.3)."""
         t0 = self.env.now
-        yield from self.cpu.use(self.params.cpu_forward_s)
+        hold = self.cpu.acquire(self.params.cpu_forward_s)
+        if hold is not None:
+            yield hold
+        else:
+            yield from self.cpu.use(self.params.cpu_forward_s)
         if req.trace is not None:
             req.trace.add("node.forward", t0, self.env.now,
                           node=self.node_id, detail=f"to={authority}")
@@ -587,7 +615,10 @@ class MdsNode:
             if entry is not None and entry.replica and not entry.pinned:
                 peer.cache.remove(ino)
         self.stats.invalidations_sent += len(holders)
-        self.cluster.hot_inos.discard(ino)
+        if ino in self.cluster.hot_inos:
+            self.cluster.hot_inos.discard(ino)
+            if self.cluster._dist_memo is not None:
+                self.cluster._dist_memo.invalidate_ino(ino)
         self._replication_cooldown[ino] = (
             self.env.now + 4 * self.params.popularity_halflife_s)
 
@@ -632,6 +663,8 @@ class MdsNode:
                         == self.node_id):
                     self.replicas.register(link.ino, peer.node_id)
         self.cluster.hot_inos.add(ino)
+        if self.cluster._dist_memo is not None:
+            self.cluster._dist_memo.invalidate_ino(ino)
         self.stats.replications_pushed += 1
 
     # ------------------------------------------------------------------
@@ -641,7 +674,7 @@ class MdsNode:
                error: Optional[str] = None,
                target_ino: Optional[int] = None) -> None:
         now = self.env.now
-        locations = {}
+        locations = EMPTY_LOCATIONS  # shared read-only map; no per-reply dict
         if ok and self.cluster.strategy.client_locate(req.path) is None:
             locations = self._distribution_info(req.path)
         reply = MdsReply(ok=ok, served_by=self.node_id, op=req.op,
@@ -659,11 +692,50 @@ class MdsNode:
         One incremental walk down the dentry tree covers every prefix —
         resolution is hierarchical, so the first unresolvable component
         ends the hints (deeper prefixes cannot resolve either).
+
+        The result depends only on global state — namespace structure,
+        partition state, hot set — so with the fast lane on it is memoised
+        cluster-wide per path (:class:`~repro.mds.distmemo.DistributionMemo`).
+        Invalidation is precise: entries are indexed by the inodes on
+        their walk; structural mutations and hot-set toggles drop exactly
+        the walks through the mutated ino, and only a partition-state
+        change (``_auth_gen``) clears the memo wholesale.  Dentry
+        *additions* never invalidate: a new entry can only extend a walk
+        that ended early, so a **complete** entry (every component
+        resolved) stays valid across creates, while a truncated one is
+        revalidated against ``dentry_add_epoch``.  Replies share the
+        memoised mapping; clients only read it (like ``EMPTY_LOCATIONS``).
         """
+        cluster = self.cluster
+        memo = cluster._dist_memo
+        if memo is not None:
+            ns = cluster.ns
+            auth_gen = cluster.strategy._auth_gen
+            if auth_gen != cluster._dist_auth_gen:
+                memo.clear()
+                cluster._dist_auth_gen = auth_gen
+            entry = memo.entries.get(path)
+            if entry is not None:
+                if entry[0] or entry[1] == ns.dentry_add_epoch:
+                    memo.hits += 1
+                    return entry[2]
+            memo.misses += 1
+            info, walk_inos = self._compute_distribution_walk(path)
+            # root entry + one per component <=> the whole path resolved
+            memo.store(path, len(info) == len(path) + 1,
+                       ns.dentry_add_epoch, info, walk_inos)
+            return info
+        return self._compute_distribution_walk(path)[0]
+
+    def _compute_distribution_walk(self, path) -> "tuple[dict, tuple]":
+        """Walk the dentry tree once: ``(prefix -> authority hints,
+        inos of the resolved components)``.  The ino tuple is what the
+        memo indexes invalidation by."""
         ns = self.cluster.ns
         strategy = self.cluster.strategy
         hot = self.cluster.hot_inos
         info: dict = {(): ANY_NODE}  # the root is cached on every node
+        walk: list = []
         node = ns.root
         depth = 0
         for name in path:
@@ -675,8 +747,9 @@ class MdsNode:
             node = ns.inode(child_ino)
             depth += 1
             prefix = path[:depth]
-            if node.ino in hot:
+            walk.append(child_ino)
+            if child_ino in hot:
                 info[prefix] = ANY_NODE
             else:
-                info[prefix] = strategy.authority_of_ino(node.ino)
-        return info
+                info[prefix] = strategy.authority_of_ino(child_ino)
+        return info, tuple(walk)

@@ -41,12 +41,22 @@ class Namespace:
         #: request-path fast lane (attached by the cluster when the fast
         #: path is enabled); ``None`` means every resolve walks the tree
         self._memo: Optional[ResolutionMemo] = None
+        #: optional second precise-invalidation consumer (the cluster's
+        #: distribution-info memo); duck-typed ``invalidate_ino(ino)``
+        self._structure_watcher = None
         #: bumped on every structural mutation (unlink/rename/orphan
         #: release); consumers with coarse-grained caches keyed on
         #: namespace structure (partition authority caches) compare it
         #: instead of registering callbacks — an int survives ``deepcopy``
         #: where a listener list would drag its subscribers along.
         self.structure_epoch = 0
+        #: bumped on every dentry *addition* (create/mkdir/link).  Additions
+        #: deliberately do not bump ``structure_epoch`` — they cannot stale a
+        #: cached successful resolution or a per-ino authority — but they CAN
+        #: extend a previously truncated path walk, so caches that memoise
+        #: walks ending at an unresolvable component (the distribution-info
+        #: memo) must key on this too.
+        self.dentry_add_epoch = 0
         root = self._new_inode(InodeType.DIR, parent_ino=ROOT_INO)
         assert root.ino == ROOT_INO
         self.root = root
@@ -237,12 +247,20 @@ class Namespace:
     def disable_resolution_memo(self) -> None:
         self._memo = None
 
+    def attach_structure_watcher(self, watcher) -> None:
+        """Attach one extra precise-invalidation consumer (duck-typed:
+        anything with ``invalidate_ino(ino)``, e.g. the cluster's
+        distribution-info memo).  Same lifecycle as the resolution memo."""
+        self._structure_watcher = watcher
+
     def _structure_changed(self, ino: int) -> None:
         """One dentry/chain mutation happened at ``ino``: precise-invalidate
-        the memo and bump the coarse epoch."""
+        the memos and bump the coarse epoch."""
         self.structure_epoch += 1
         if self._memo is not None:
             self._memo.invalidate_ino(ino)
+        if self._structure_watcher is not None:
+            self._structure_watcher.invalidate_ino(ino)
 
     # ------------------------------------------------------------------
     # orphans (unlinked while open, §4.5)
@@ -288,6 +306,7 @@ class Namespace:
                                 owner=owner, size=size, mtime=mtime)
         parent.children[name] = inode.ino  # type: ignore[index]
         parent.mtime = max(parent.mtime, mtime)
+        self.dentry_add_epoch += 1
         return inode
 
     def link(self, target: Path, new_path: Path, mtime: float = 0.0) -> Inode:
@@ -303,6 +322,7 @@ class Namespace:
             raise AlreadyExists(pathmod.format_path(new_path))
         new_parent.children[name] = inode.ino  # type: ignore[index]
         new_parent.mtime = max(new_parent.mtime, mtime)
+        self.dentry_add_epoch += 1
         self._extra_links.setdefault(inode.ino, set()).add(
             (new_parent.ino, name))
         inode.nlink += 1

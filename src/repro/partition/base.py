@@ -54,6 +54,10 @@ class Strategy(abc.ABC):
         #: state are unchanged.  ``None`` when the fast lane is disabled.
         self._auth_cache: Optional[Dict[int, int]] = None
         self._auth_epoch = -1
+        #: monotonic generation counter bumped on every partition-state
+        #: mutation — lets downstream memos (distribution info) key their
+        #: validity on it without subscribing to strategy internals
+        self._auth_gen = 0
 
     def bind(self, ns: Namespace) -> None:
         """Attach the namespace and build the initial partition."""
@@ -89,6 +93,7 @@ class Strategy(abc.ABC):
 
     def _authority_changed(self) -> None:
         """Partition state mutated: drop every memoised authority."""
+        self._auth_gen += 1
         if self._auth_cache is not None:
             self._auth_cache.clear()
 

@@ -19,11 +19,29 @@ bypasses the generic ``succeed``/``schedule`` ceremony entirely (it is born
 triggered), and :meth:`Environment.run` inlines :meth:`Environment.step`
 with the queue and ``heappop`` bound to locals; both paths are covered by
 the event-order golden tests in ``tests/sim/test_engine_hotpath.py``.
+
+Settled-event fast lane
+-----------------------
+When the fast lane is on (``REPRO_FASTPATH``, read once per environment),
+producers whose outcome is known synchronously — an uncontended
+``Resource.request()``, a ``Store.get()`` with an item buffered — return an
+*inline-settled* event: triggered, value frozen, due now, but never pushed
+onto the calendar.  :class:`~repro.sim.process.Process` consumes such an
+event without a heap round-trip, ``all_of``/``any_of`` treat it exactly
+like any other already-settled event, and ``run(until=...)`` returns its
+value immediately.  The fast lane also enables freelist pooling: the run
+loop recycles :class:`Timeout` and plain :class:`Event` objects whose
+refcount proves no one can observe them again, and the process fast lane
+recycles the inline events it consumed.  ``kernel_stats()`` reports events
+scheduled, fast-lane resumes and pool reuse so the churn reduction is
+visible; with the fast lane off every structure and code path is exactly
+the reference heap kernel.
 """
 
 from __future__ import annotations
 
 import heapq
+from sys import getrefcount
 from typing import Any, Callable, Iterable, Optional
 
 from .errors import EventAlreadyTriggered, StopSimulation
@@ -43,6 +61,12 @@ _NORMAL_KEY = NORMAL << _PRIO_SHIFT
 _heappush = heapq.heappush
 _heappop = heapq.heappop
 
+#: Freelist bound per pooled class: enough to absorb steady-state churn,
+#: small enough that a burst cannot pin memory.
+_POOL_MAX = 256
+
+_INF = float("inf")
+
 
 class Event:
     """A condition that may be *triggered* once with a value or an error.
@@ -54,7 +78,7 @@ class Event:
     """
 
     __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_defused",
-                 "_scheduled_at")
+                 "_scheduled_at", "_inline")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -63,7 +87,8 @@ class Event:
         self._ok: bool = True
         self._triggered = False
         self._defused = False
-        self._scheduled_at: float = float("inf")  # calendar due time
+        self._scheduled_at: float = _INF  # calendar due time
+        self._inline = False  # settled synchronously, never on the calendar
 
     # -- state ------------------------------------------------------------
     @property
@@ -110,6 +135,27 @@ class Event:
         self.env.schedule(self, priority=priority)
         return self
 
+    def _settle_inline(self, value: Any = None) -> None:
+        """Fast-lane handoff: succeed now and run callbacks synchronously.
+
+        The event never touches the calendar — it settles at the current
+        instant and its waiters (typically one suspended process) resume
+        immediately, eliding the URGENT heap round-trip the reference path
+        pays.  Callers are responsible for dispatch-order equivalence
+        (golden-ordering and fixed-seed equivalence tests arbitrate); only
+        success paths use this, failures always go through the calendar.
+        """
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self._scheduled_at = self.env._now
+        self._inline = True
+        callbacks = self.callbacks
+        self.callbacks = None  # mark processed
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
     def trigger_from(self, other: "Event") -> None:
         """Trigger this event with the outcome of an already-settled event."""
         if other._ok:
@@ -147,6 +193,7 @@ class Timeout(Event):
         self._ok = True
         self._triggered = True
         self._defused = False
+        self._inline = False
         self.delay = delay
         seq = env._seq
         env._seq = seq + 1
@@ -156,14 +203,36 @@ class Timeout(Event):
 
 
 class Environment:
-    """Execution environment: the event calendar and simulation clock."""
+    """Execution environment: the event calendar and simulation clock.
 
-    __slots__ = ("_now", "_queue", "_seq")
+    ``fastlane`` controls the settled-event fast lane and freelist pooling;
+    ``None`` (the default) reads ``REPRO_FASTPATH`` once at construction.
+    With the lane off the kernel is exactly the reference heap
+    implementation — CI's golden-equivalence runs rely on that.
+    """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    __slots__ = ("_now", "_queue", "_seq", "_fastlane", "_event_pool",
+                 "_timeout_pool", "_request_pool", "fast_resumes",
+                 "pool_hits", "pool_allocs")
+
+    def __init__(self, initial_time: float = 0.0, *,
+                 fastlane: Optional[bool] = None) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0  # tie-breaker preserving FIFO order at equal (t, prio)
+        if fastlane is None:
+            from .._fastpath import fastpath_enabled
+
+            fastlane = fastpath_enabled()
+        self._fastlane = fastlane
+        #: freelists for the hot event classes (fast lane only)
+        self._event_pool: list[Event] = []
+        self._timeout_pool: list[Timeout] = []
+        self._request_pool: list[Event] = []  # Request instances
+        #: kernel counters (see :meth:`kernel_stats`)
+        self.fast_resumes = 0   # generator resumes without a heap round-trip
+        self.pool_hits = 0      # events served from a freelist
+        self.pool_allocs = 0    # fresh allocations on pooled paths
 
     # -- clock ------------------------------------------------------------
     @property
@@ -171,13 +240,72 @@ class Environment:
         """Current simulation time."""
         return self._now
 
+    @property
+    def fastlane(self) -> bool:
+        """True when the settled-event fast lane and pools are active."""
+        return self._fastlane
+
+    def kernel_stats(self) -> dict[str, float]:
+        """Kernel churn counters (pay-for-use: plain ints, read on demand).
+
+        ``events_scheduled`` is the number of calendar entries created (the
+        sequence counter — every heap push draws one).  ``fast_resumes``
+        counts generator resumes served inline without a heap round-trip.
+        ``pool_hits`` / ``pool_allocs`` split pooled-path constructions into
+        freelist reuses vs fresh allocations; ``pool_reuse_rate`` is the
+        fraction reused (0.0 when the pools were never exercised).
+        """
+        pooled = self.pool_hits + self.pool_allocs
+        return {
+            "fastlane": self._fastlane,
+            "events_scheduled": self._seq,
+            "fast_resumes": self.fast_resumes,
+            "pool_hits": self.pool_hits,
+            "pool_allocs": self.pool_allocs,
+            "pool_reuse_rate": (self.pool_hits / pooled) if pooled else 0.0,
+        }
+
     # -- construction helpers ----------------------------------------------
     def event(self) -> Event:
         """Create a new untriggered :class:`Event`."""
+        if self._fastlane:
+            pool = self._event_pool
+            if pool:
+                self.pool_hits += 1
+                ev = pool.pop()
+                ev.callbacks = []
+                ev._value = None
+                ev._ok = True
+                ev._triggered = False
+                ev._defused = False
+                ev._scheduled_at = _INF
+                ev._inline = False
+                return ev
+            self.pool_allocs += 1
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create a :class:`Timeout` firing ``delay`` units from now."""
+        if self._fastlane:
+            pool = self._timeout_pool
+            if pool:
+                if delay < 0:
+                    raise ValueError(f"negative delay: {delay!r}")
+                self.pool_hits += 1
+                t = pool.pop()
+                t.callbacks = []
+                t._value = value
+                t._ok = True
+                t._triggered = True
+                t._defused = False
+                t.delay = delay
+                seq = self._seq
+                self._seq = seq + 1
+                when = self._now + delay
+                t._scheduled_at = when
+                _heappush(self._queue, (when, _NORMAL_KEY | seq, t))
+                return t
+            self.pool_allocs += 1
         return Timeout(self, delay, value)
 
     def process(self, generator) -> "Process":
@@ -315,7 +443,10 @@ class Environment:
                 ev._defused = True
                 raise StopSimulation(ev)
 
-            if stop_event.processed:
+            if stop_event.processed or (stop_event._inline
+                                        and stop_event._triggered):
+                # processed, or settled inline (never on the calendar):
+                # the outcome is already frozen
                 if stop_event._ok:
                     return stop_event._value
                 raise stop_event._value
@@ -330,8 +461,14 @@ class Environment:
         # The loop below is step() inlined with the queue, heappop and the
         # boundary bound to locals: attribute loads dominate the per-event
         # cost at this call volume (one iteration per simulated event).
+        # With the fast lane on, dispatched Timeout/Event objects whose
+        # refcount proves them unreachable (the loop local plus the
+        # getrefcount argument) are recycled onto the freelists.
         queue = self._queue
         heappop = _heappop
+        recycle = self._fastlane
+        timeout_pool = self._timeout_pool
+        event_pool = self._event_pool
         try:
             while queue and queue[0][0] <= stop_at:
                 when, _key, event = heappop(queue)
@@ -343,6 +480,18 @@ class Environment:
                         callback(event)
                 if not event._ok and not event._defused:
                     raise event._value
+                if recycle:
+                    cls = event.__class__
+                    if cls is Timeout:
+                        if (len(timeout_pool) < _POOL_MAX
+                                and getrefcount(event) == 2):
+                            event._value = None  # don't pin the payload
+                            timeout_pool.append(event)
+                    elif cls is Event:
+                        if (len(event_pool) < _POOL_MAX
+                                and getrefcount(event) == 2):
+                            event._value = None
+                            event_pool.append(event)
         except StopSimulation as stop:
             ev: Event = stop.value  # type: ignore[assignment]
             if ev._ok:

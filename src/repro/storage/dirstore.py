@@ -27,7 +27,7 @@ from ..namespace import Inode, Namespace
 from .btree import DirectoryBTree
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EmbeddedInode:
     """The payload stored with each dentry: the embedded inode (§4.5)."""
 
@@ -44,7 +44,7 @@ class EmbeddedInode:
                    owner=inode.owner, size=inode.size, mtime=inode.mtime)
 
 
-@dataclass
+@dataclass(slots=True)
 class DirStoreStats:
     """Cumulative structural write costs."""
 

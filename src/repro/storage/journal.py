@@ -22,7 +22,7 @@ from ..sim import Environment, Event
 from .disk import DiskDevice
 
 
-@dataclass
+@dataclass(slots=True)
 class JournalStats:
     appends: int = 0
     retirements: int = 0
@@ -57,7 +57,11 @@ class Journal:
         Retired inos must then be flushed to tier 2 by the caller (the MDS
         does this off the critical path).
         """
-        yield from self.device.write(1)
+        fast = self.device.write_event(1)  # single timeout when uncontended
+        if fast is not None:
+            yield fast
+        else:
+            yield from self.device.write(1)
         self.stats.appends += 1
         if ino in self._entries:
             self._entries.move_to_end(ino)

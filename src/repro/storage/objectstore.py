@@ -24,7 +24,7 @@ from ..sim import Environment, Event
 from .disk import DiskDevice
 
 
-@dataclass
+@dataclass(slots=True)
 class ObjectStoreStats:
     dir_reads: int = 0
     inode_reads: int = 0
@@ -54,23 +54,43 @@ class ObjectStore:
     # -- directory-grain ------------------------------------------------------
     def read_dir_object(self, dir_ino: int) -> Generator[Event, Any, None]:
         """Fetch a whole directory object (entries + embedded inodes)."""
-        yield from self.device_for(dir_ino).read(1)
+        device = self.device_for(dir_ino)
+        fast = device.read_event(1)  # single timeout when uncontended
+        if fast is not None:
+            yield fast
+        else:
+            yield from device.read(1)
         self.stats.dir_reads += 1
 
     def write_dir_object(self, dir_ino: int) -> Generator[Event, Any, None]:
         """Rewrite the changed B-tree nodes of a directory object."""
-        yield from self.device_for(dir_ino).write(1)
+        device = self.device_for(dir_ino)
+        fast = device.write_event(1)
+        if fast is not None:
+            yield fast
+        else:
+            yield from device.write(1)
         self.stats.dir_writes += 1
 
     # -- inode-grain ------------------------------------------------------------
     def read_inode(self, ino: int) -> Generator[Event, Any, None]:
         """Fetch a single inode record (no prefetch possible)."""
-        yield from self.device_for(ino).read(1)
+        device = self.device_for(ino)
+        fast = device.read_event(1)
+        if fast is not None:
+            yield fast
+        else:
+            yield from device.read(1)
         self.stats.inode_reads += 1
 
     def write_inode(self, ino: int) -> Generator[Event, Any, None]:
         """Write back a single inode record."""
-        yield from self.device_for(ino).write(1)
+        device = self.device_for(ino)
+        fast = device.write_event(1)
+        if fast is not None:
+            yield fast
+        else:
+            yield from device.write(1)
         self.stats.inode_writes += 1
 
     @property

@@ -1,0 +1,89 @@
+"""The bench tool's baseline/trajectory bookkeeping (no timing involved).
+
+``tools/bench_request_path.py`` compares each run against the previously
+*committed* report instead of a constant frozen in the source, and keeps a
+``trajectory`` of recorded rates across PRs.  These tests pin the pure
+helpers that implement that: prior-report loading, baseline extraction
+(with the pre-fast-lane fallback), and trajectory carry-forward.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _load_bench():
+    spec = importlib.util.spec_from_file_location(
+        "bench_request_path", REPO / "tools" / "bench_request_path.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_missing_or_garbage_prior_report(tmp_path):
+    bench = _load_bench()
+    assert bench.load_prior_report(str(tmp_path / "nope.json")) is None
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json", encoding="utf-8")
+    assert bench.load_prior_report(str(bad)) is None
+
+
+def test_baseline_falls_back_without_prior():
+    bench = _load_bench()
+    assert bench.baseline_from_prior(None) == \
+        bench.FALLBACK_BASELINE_SIM_OPS_PER_WALL_S
+    assert bench.baseline_from_prior({}) == \
+        bench.FALLBACK_BASELINE_SIM_OPS_PER_WALL_S
+    assert bench.baseline_from_prior({"fastpath_on": {}}) == \
+        bench.FALLBACK_BASELINE_SIM_OPS_PER_WALL_S
+
+
+def test_baseline_reads_prior_fastpath_on_rate():
+    bench = _load_bench()
+    prior = {"fastpath_on": {"sim_ops_per_wall_s": 21990.6}}
+    assert bench.baseline_from_prior(prior) == 21990.6
+
+
+def test_trajectory_seeded_from_pre_trajectory_report():
+    """A report written before trajectory support contributes its own
+    headline numbers as the first entry."""
+    bench = _load_bench()
+    prior = {
+        "timestamp": "2026-08-06T07:38:01",
+        "fastpath_off": {"sim_ops_per_wall_s": 19174.5},
+        "fastpath_on": {"sim_ops_per_wall_s": 21990.6},
+        "speedup_on_vs_off": 1.147,
+        "quick": False,
+    }
+    trajectory = bench.trajectory_from_prior(prior)
+    assert trajectory == [{
+        "timestamp": "2026-08-06T07:38:01",
+        "fastpath_off_ops_per_wall_s": 19174.5,
+        "fastpath_on_ops_per_wall_s": 21990.6,
+        "speedup_on_vs_off": 1.147,
+        "quick": False,
+    }]
+
+
+def test_trajectory_carries_forward_and_copies():
+    bench = _load_bench()
+    existing = [{"timestamp": "t0"}, {"timestamp": "t1"}]
+    prior = {"trajectory": existing}
+    trajectory = bench.trajectory_from_prior(prior)
+    assert trajectory == existing
+    trajectory.append({"timestamp": "t2"})  # must not alias the prior list
+    assert len(existing) == 2
+    assert bench.trajectory_from_prior(None) == []
+
+
+def test_committed_report_is_a_valid_prior():
+    """The report committed at the repo root must parse and provide a
+    baseline — the regression check in CI depends on it."""
+    bench = _load_bench()
+    committed = REPO / "BENCH_request_path.json"
+    prior = bench.load_prior_report(str(committed))
+    assert prior is not None
+    assert bench.baseline_from_prior(prior) > 0
+    assert bench.trajectory_from_prior(prior)  # at least one entry

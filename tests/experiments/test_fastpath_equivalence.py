@@ -48,3 +48,28 @@ def test_fastpath_env_tokens(monkeypatch, token, expected):
 def test_fastpath_defaults_on(monkeypatch):
     monkeypatch.delenv(FASTPATH_ENV, raising=False)
     assert fastpath_enabled() is True
+
+
+def test_kernel_counters_prove_event_elision(monkeypatch):
+    """The fast lane's win is visible in the kernel counters: fewer
+    calendar events for the same simulated work, with every elision
+    accounted as a fast resume and the freelists actually reused."""
+    off = _summary_for(monkeypatch, False).env.kernel_stats()
+    on = _summary_for(monkeypatch, True).env.kernel_stats()
+    assert off["fastlane"] is False and on["fastlane"] is True
+    assert off["fast_resumes"] == 0
+    assert on["fast_resumes"] > 0
+    assert on["events_scheduled"] < off["events_scheduled"]
+    assert on["pool_reuse_rate"] > 0.5
+
+
+def test_summary_carries_kernel_counters_outside_equivalence(monkeypatch):
+    """``summary().kernel`` exposes the counters, but stays out of the
+    repr/equality contract — the modes differ there by design."""
+    off = _summary_for(monkeypatch, False).summary()
+    on = _summary_for(monkeypatch, True).summary()
+    assert on.kernel is not None and off.kernel is not None
+    assert on.kernel["fast_resumes"] > 0
+    assert on.kernel != off.kernel
+    assert "kernel" not in repr(on)
+    assert repr(off) == repr(on)

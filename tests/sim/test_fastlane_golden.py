@@ -1,0 +1,217 @@
+"""Golden tests for the settled-event fast lane (``fastlane=True``).
+
+The fast lane changes *how* the kernel moves — inline-settled grants,
+synchronous handoffs inside ``release()``/``put()``, freelist pooling —
+but must not change *what* any process computes or when (in simulated
+time) it computes it.  These tests pin both halves of that contract:
+
+* the fast lane's own micro-interleaving is golden-traced (a handed-off
+  waiter resumes *inside* the releasing call, so its "got" line precedes
+  the holder's "rel" line at the same instant), and
+* every domain-visible quantity — event times, FIFO service order, final
+  clock, resource/store state — is proven equal to the reference kernel
+  (``fastlane=False``), whose own golden trace lives in
+  ``test_engine_hotpath.py``.
+"""
+
+import random
+
+from repro.sim import Environment, Resource, Store
+
+
+def _worker_scenario(fastlane):
+    """The fixed-seed process+resource workload from the engine suite."""
+    env = Environment(fastlane=fastlane)
+    trace = []
+    server = Resource(env, capacity=1)
+    rng = random.Random(7)
+    delays = [round(rng.uniform(0.0, 0.03), 4) for _ in range(9)]
+
+    def worker(wid, think):
+        yield env.timeout(think)
+        trace.append(("req", wid, round(env.now, 4)))
+        req = server.request()
+        yield req
+        trace.append(("got", wid, round(env.now, 4)))
+        yield env.timeout(0.01)
+        server.release()
+        trace.append(("rel", wid, round(env.now, 4)))
+
+    for wid, think in enumerate(delays[:3]):
+        env.process(worker(wid, think))
+    env.run()
+    return env, trace
+
+
+def test_golden_fastlane_trace_handoff_order():
+    """The fast-lane trace: identical times, got-before-rel at handoffs.
+
+    A contended release hands the slot to the waiter synchronously, so the
+    waiter's "got" line lands before the holder's "rel" line — the only
+    difference from the reference trace in ``test_engine_hotpath.py``.
+    """
+    _env, trace = _worker_scenario(fastlane=True)
+    assert trace == [
+        ("req", 1, 0.0045), ("got", 1, 0.0045),
+        ("req", 0, 0.0097),
+        ("got", 0, 0.0145), ("rel", 1, 0.0145),
+        ("req", 2, 0.0195),
+        ("got", 2, 0.0245), ("rel", 0, 0.0245),
+        ("rel", 2, 0.0345),
+    ]
+
+
+def test_fastlane_final_state_matches_reference():
+    """Same events, same simulated times, same final clock — only the
+    within-instant line order differs between the modes."""
+    env_ref, trace_ref = _worker_scenario(fastlane=False)
+    env_fast, trace_fast = _worker_scenario(fastlane=True)
+    assert env_ref.now == env_fast.now
+    assert sorted(trace_ref) == sorted(trace_fast)
+    # per-worker event times are identical, line by line
+    for wid in (0, 1, 2):
+        ref = [(kind, t) for kind, w, t in trace_ref if w == wid]
+        fast = [(kind, t) for kind, w, t in trace_fast if w == wid]
+        assert ref == fast
+
+
+def test_fastlane_fifo_service_times_match_reference():
+    """FIFO queueing grants slots at the same times in both modes."""
+
+    def run(fastlane):
+        env = Environment(fastlane=fastlane)
+        res = Resource(env, capacity=1)
+        starts, ends = {}, {}
+
+        def worker(name, hold):
+            yield res.request()
+            starts[name] = env.now
+            yield env.timeout(hold)
+            res.release()
+            ends[name] = env.now
+
+        env.process(worker("first", 2.0))
+        env.process(worker("second", 1.0))
+        env.process(worker("third", 1.0))
+        env.run()
+        return starts, ends
+
+    assert run(False) == run(True)
+    starts, ends = run(True)
+    assert starts == {"first": 0.0, "second": 2.0, "third": 3.0}
+    assert ends == {"first": 2.0, "second": 3.0, "third": 4.0}
+
+
+def test_fastlane_store_handoff_preserves_getter_fifo():
+    env = Environment(fastlane=True)
+    store = Store(env)
+    got = []
+
+    def consumer(name):
+        item = yield store.get()
+        got.append((name, item, env.now))
+
+    env.process(consumer("a"))
+    env.process(consumer("b"))
+
+    def producer():
+        yield env.timeout(1.0)
+        store.put(1)  # consumer "a" resumes inside this call
+        store.put(2)
+        yield env.timeout(1.0)
+        store.put(3)
+
+    env.process(consumer("c"))
+    env.process(producer())
+    env.run()
+    assert got == [("a", 1, 1.0), ("b", 2, 1.0), ("c", 3, 2.0)]
+    assert env.fast_resumes >= 3
+
+
+def test_fastlane_elides_events_and_counts_resumes():
+    """Kernel counters prove the elision: fewer calendar entries with the
+    fast lane on, every elision counted as a fast resume."""
+
+    def run(fastlane):
+        env = Environment(fastlane=fastlane)
+        res = Resource(env, capacity=1)
+        store = Store(env)
+
+        def producer():
+            for i in range(20):
+                yield env.timeout(0.5)
+                store.put(i)
+
+        def consumer():
+            for _ in range(20):
+                yield store.get()
+                yield res.request()
+                yield env.timeout(0.1)
+                res.release()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        return env.kernel_stats()
+
+    off = run(False)
+    on = run(True)
+    assert off["fast_resumes"] == 0
+    assert on["fast_resumes"] > 0
+    assert on["events_scheduled"] < off["events_scheduled"]
+    assert 0.0 <= on["pool_reuse_rate"] <= 1.0
+
+
+def test_request_and_timeout_pools_are_reused():
+    env = Environment(fastlane=True)
+    res = Resource(env, capacity=1)
+
+    def body():
+        for _ in range(6):
+            yield res.request()  # consumed inline, recycled by the process
+            res.release()
+            yield env.timeout(0.1)  # dispatched, recycled by the run loop
+
+    env.process(body())
+    env.run()
+    stats = env.kernel_stats()
+    # first of each allocates, the rest come off the freelists
+    assert stats["pool_hits"] >= 8
+    assert stats["pool_allocs"] <= 4
+    assert stats["pool_reuse_rate"] > 0.5
+
+
+def test_recycled_events_carry_fresh_values():
+    """A pooled event must be fully re-initialised: values from a previous
+    life may never leak into a later grant."""
+    env = Environment(fastlane=True)
+    store = Store(env)
+    seen = []
+
+    def body():
+        for i in range(8):
+            store.put(f"item{i}")
+            value = yield store.get()  # inline-settled, pooled after use
+            seen.append(value)
+            yield env.timeout(0.1)
+
+    env.process(body())
+    env.run()
+    assert seen == [f"item{i}" for i in range(8)]
+
+
+def test_run_until_event_settled_by_synchronous_handoff():
+    """``run(until=ev)`` must stop even when ``ev`` settles inside a
+    handoff chain (StopSimulation propagates through the generator)."""
+    env = Environment(fastlane=True)
+    store = Store(env)
+    ev = store.get()  # blocked getter: settles via put() handoff
+
+    def producer():
+        yield env.timeout(1.0)
+        store.put("x")  # settles `ev` synchronously, stops the run
+        yield env.timeout(5.0)  # must not execute before run() returns
+
+    env.process(producer())
+    assert env.run(until=ev) == "x"
+    assert env.now == 1.0

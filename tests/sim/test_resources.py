@@ -27,7 +27,10 @@ def test_resource_grants_immediately_when_free():
 
 
 def test_resource_fifo_queueing():
-    env = Environment()
+    # Reference kernel: the fast lane hands a released slot to the waiter
+    # synchronously inside release(), which reorders the same-instant log
+    # lines below (see tests/sim/test_fastlane_golden.py for that trace).
+    env = Environment(fastlane=False)
     res = Resource(env, capacity=1)
     log = []
 
@@ -103,6 +106,20 @@ def test_resource_cancel_queued_request():
     env.run()
     assert res.in_use == 0
     assert res.queue_length == 0
+
+
+def test_resource_cancel_granted_request_is_a_noop():
+    """Cancel only withdraws *queued* requests: a granted one was already
+    removed from the wait queue, so cancel returns False and the slot stays
+    held until release()."""
+    env = Environment()
+    res = Resource(env, capacity=1)
+    granted = res.request()
+    assert granted.triggered
+    assert res.cancel(granted) is False
+    assert res.in_use == 1
+    res.release()
+    assert res.in_use == 0
 
 
 def test_resource_queue_length_tracks_waiters():
@@ -185,6 +202,50 @@ def test_store_fifo_ordering_of_getters():
     env.process(producer())
     env.run()
     assert got == [("a", 1), ("b", 2)]
+
+
+def test_store_interleaved_getters_and_putters():
+    """Mixed buffered items and blocked getters: every handover pairs the
+    oldest getter with the oldest item, in both kernel modes."""
+    for fastlane in (False, True):
+        env = Environment(fastlane=fastlane)
+        store = Store(env)
+        got = []
+
+        def consumer(name, delay, env=env, store=store, got=got):
+            yield env.timeout(delay)
+            item = yield store.get()
+            got.append((name, item, env.now))
+
+        def producer(env=env, store=store):
+            store.put("pre")          # buffered before any getter exists
+            yield env.timeout(1.0)
+            store.put("at1")          # wakes the blocked "b"
+            yield env.timeout(1.0)
+            store.put("at2a")         # buffered: nobody waiting yet
+            store.put("at2b")
+            yield env.timeout(1.0)
+
+        env.process(consumer("a", 0.5))   # finds "pre" buffered
+        env.process(consumer("b", 0.7))   # blocks until t=1
+        env.process(consumer("c", 2.5))   # finds "at2a" buffered
+        env.process(consumer("d", 2.6))   # finds "at2b" buffered
+        env.process(producer())
+        env.run()
+        assert got == [("a", "pre", 0.5), ("b", "at1", 1.0),
+                       ("c", "at2a", 2.5), ("d", "at2b", 2.6)], fastlane
+        assert len(store) == 0
+
+
+def test_store_get_nowait_drains_without_blocking():
+    env = Environment()
+    store = Store(env)
+    assert store.get_nowait() is None
+    store.put("a")
+    store.put("b")
+    assert store.get_nowait() == "a"
+    assert store.get_nowait() == "b"
+    assert store.get_nowait() is None
 
 
 def test_store_len_counts_buffered_items():

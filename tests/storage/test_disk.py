@@ -106,3 +106,65 @@ def test_mixed_read_write_counts():
 
     env.run(until=env.process(body()))
     assert disk.stats.transactions == 3
+
+
+def test_invalid_units_rejected_everywhere():
+    """Zero and negative unit counts are rejected by both the flattened
+    fast path and the queued generator path, for reads and writes."""
+    env = Environment(fastlane=True)
+    disk = DiskDevice(env, read_s=0.004, write_s=0.002)
+    for units in (0, -1, -7):
+        with pytest.raises(ValueError):
+            disk.read_event(units)
+        with pytest.raises(ValueError):
+            disk.write_event(units)
+        with pytest.raises(ValueError):
+            next(disk.read(units=units))
+        with pytest.raises(ValueError):
+            next(disk.write(units=units))
+    assert disk.stats.transactions == 0
+    assert disk.queue_length == 0
+
+
+def test_utilization_clamps_to_unit_interval():
+    env = Environment()
+    disk = DiskDevice(env, read_s=1.0, write_s=1.0)
+
+    def body():
+        yield from disk.read(units=4)
+
+    env.run(until=env.process(body()))
+    assert disk.stats.busy_s == pytest.approx(4.0)
+    # elapsed shorter than busy time (overlapping accounting) clamps to 1.0
+    assert disk.utilization(2.0) == 1.0
+    assert disk.utilization(8.0) == pytest.approx(0.5)
+    # degenerate windows report zero rather than dividing by <= 0
+    assert disk.utilization(0.0) == 0.0
+    assert disk.utilization(-1.0) == 0.0
+
+
+def test_flattened_fast_path_matches_reference_timing():
+    """The single-timeout uncontended path and the reference sub-process
+    produce identical completion times and stats under contention."""
+
+    def run(fastlane):
+        env = Environment(fastlane=fastlane)
+        disk = DiskDevice(env, read_s=0.010, write_s=0.004)
+        done = []
+
+        def reader(name):
+            yield from disk.read()
+            done.append((name, round(env.now, 6)))
+
+        def writer(name):
+            yield from disk.write(units=2)
+            done.append((name, round(env.now, 6)))
+
+        env.process(reader("r1"))
+        env.process(writer("w1"))
+        env.process(reader("r2"))
+        env.run()
+        return done, disk.stats.reads, disk.stats.writes, \
+            round(disk.stats.busy_s, 6)
+
+    assert run(False) == run(True)
