@@ -35,21 +35,27 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from .experiments._build import Simulation, build_simulation
-from .experiments.config import ExperimentConfig, env_scale
+from .experiments.config import (EnvGates, ExperimentConfig, env_gates,
+                                 env_scale, parse_parallel_env)
 from .experiments.extensions import extA_scientific, scientific_config
 from .experiments.figures import (FIGURES, FigureResult, fig2, fig3, fig4,
                                   fig5, fig6, fig7, flash_config,
                                   run_shift_experiment, scaling_config,
                                   shift_config)
+from .experiments.overload import (fig_hotspot, fig_overload,
+                                   hotspot_config, overload_config)
 from .experiments.runner import (SteadyStateResult, TimelineResult,
                                  run_steady_state, run_timeline)
 from .experiments.summary import ClusterSummary
+from .experiments.workload import (ClosedLoopSpec, OpenLoopSpec,
+                                   WorkloadSpec, normalize_workload)
 from .mds import SimParams
 from .metrics import LatencyHistogram, LatencySummary
 from .obs import (JsonlSink, RingBufferSink, Span, Trace, Tracer,
                   export_jsonl, read_jsonl)
 from .parallel import (SweepError, TaskError, require_ok, run_many,
                        run_many_timeline)
+from .proxy import ProxySpec, ProxyTier
 
 
 @dataclass
@@ -67,6 +73,27 @@ class RunResult:
     def latency_by_op(self) -> Dict[str, LatencySummary]:
         """Per-op-type p50/p95/p99 digests (op name -> summary)."""
         return self.summary.latency_by_op
+
+    # -- overload accessors (all zero for classic closed-loop runs) --------
+    @property
+    def offered_ops(self) -> int:
+        """Requests submitted by open-loop sources."""
+        return self.summary.offered_ops
+
+    @property
+    def dropped_ops(self) -> int:
+        """Requests shed by admission control (bounded inboxes)."""
+        return self.summary.dropped_ops
+
+    @property
+    def slo_violations(self) -> int:
+        """Completed ops whose latency missed the workload's SLO."""
+        return self.summary.slo_violations
+
+    @property
+    def goodput_ops_per_s(self) -> float:
+        """Within-SLO completions per second over the measure window."""
+        return self.summary.goodput_ops_per_s
 
 
 def run_experiment(config: ExperimentConfig, *,
@@ -90,11 +117,20 @@ def run_experiment(config: ExperimentConfig, *,
 
 __all__ = [
     # configuration & construction
+    "ClosedLoopSpec",
+    "EnvGates",
     "ExperimentConfig",
+    "OpenLoopSpec",
+    "ProxySpec",
+    "ProxyTier",
     "SimParams",
     "Simulation",
+    "WorkloadSpec",
     "build_simulation",
+    "env_gates",
     "env_scale",
+    "normalize_workload",
+    "parse_parallel_env",
     # one-call running
     "RunResult",
     "run_experiment",
@@ -128,7 +164,11 @@ __all__ = [
     "fig5",
     "fig6",
     "fig7",
+    "fig_hotspot",
+    "fig_overload",
     "flash_config",
+    "hotspot_config",
+    "overload_config",
     "run_shift_experiment",
     "run_steady_state",
     "run_timeline",

@@ -5,10 +5,13 @@ from .dynamic import SHIFTED_MIX, ShiftSpec, ShiftingWorkload
 from .flashcrowd import FlashCrowdSpec, FlashCrowdWorkload
 from .general import GeneralWorkload, GeneralWorkloadSpec
 from .location import LocationCache
+from .openloop import (BurstyArrivals, OpenLoopSource, OpenLoopStats,
+                       OpenLoopWorkload, PoissonArrivals, make_arrivals)
 from .opmix import GENERAL_MIX, SCALING_MIX, OpMix
 from .scientific import ScientificSpec, ScientificWorkload
 
 __all__ = [
+    "BurstyArrivals",
     "Client",
     "ClientStats",
     "FlashCrowdSpec",
@@ -18,6 +21,10 @@ __all__ = [
     "GeneralWorkloadSpec",
     "LocationCache",
     "OpMix",
+    "OpenLoopSource",
+    "OpenLoopStats",
+    "OpenLoopWorkload",
+    "PoissonArrivals",
     "SCALING_MIX",
     "SHIFTED_MIX",
     "ScientificSpec",
@@ -25,4 +32,5 @@ __all__ = [
     "ShiftSpec",
     "ShiftingWorkload",
     "Workload",
+    "make_arrivals",
 ]

@@ -19,9 +19,11 @@ import time
 from .config import env_scale
 from .extensions import extA_scientific
 from .figures import FIGURES, fig5, fig6, run_shift_experiment
+from .overload import fig_hotspot, fig_overload
 
 #: extension experiments (not in the paper) selectable from the CLI
-EXTENSIONS = {"extA": extA_scientific}
+EXTENSIONS = {"extA": extA_scientific, "overload": fig_overload,
+              "hotspot": fig_hotspot}
 
 
 def main(argv=None) -> int:

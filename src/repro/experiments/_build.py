@@ -12,17 +12,20 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..clients import (Client, FlashCrowdSpec, FlashCrowdWorkload,
-                       GeneralWorkload, GeneralWorkloadSpec, SCALING_MIX,
-                       ScientificSpec, ScientificWorkload, ShiftSpec,
-                       ShiftingWorkload)
+                       GeneralWorkload, GeneralWorkloadSpec, OpenLoopSource,
+                       OpenLoopWorkload, SCALING_MIX, ScientificSpec,
+                       ScientificWorkload, ShiftSpec, ShiftingWorkload,
+                       make_arrivals)
 from ..mds import MdsCluster
 from ..namespace import Namespace, SnapshotSpec, SnapshotStats, \
     generate_snapshot
 from ..namespace import path as pathmod
 from ..obs import RingBufferSink, Trace, Tracer
 from ..partition import make_strategy
+from ..proxy import ProxyTier
 from ..sim import Environment, RngStreams
 from .config import ExperimentConfig
+from .workload import ClosedLoopSpec, OpenLoopSpec, WorkloadSpec
 
 if TYPE_CHECKING:  # pragma: no cover
     from .summary import ClusterSummary
@@ -41,6 +44,8 @@ class Simulation:
     clients: List[Client]
     workload: object
     tracer: Optional[Tracer] = None
+    #: the adaptive proxy tier fronting the cluster, when configured
+    proxy: Optional[ProxyTier] = None
 
     def run_to(self, t: float) -> None:
         self.env.run(until=t)
@@ -155,17 +160,34 @@ def build_simulation(config: ExperimentConfig) -> Simulation:
     cluster = MdsCluster(env, ns, strategy, params, tracer=tracer)
     cluster.start()
 
-    workload = _make_workload(config, ns, snapshot, strategy)
+    spec = config.workload_spec()
+    workload = _make_workload(config, spec, ns, snapshot, strategy)
+
+    # clients talk to the proxy tier when one is configured, otherwise
+    # straight to the cluster — the two expose the same submit() surface
+    proxy = None
+    front = cluster
+    if config.proxy is not None:
+        proxy = ProxyTier(env, cluster, config.proxy)
+        front = proxy
+
     clients = []
-    for i in range(config.n_clients):
-        client = Client(env, i, cluster, workload,
-                        streams.py_stream(f"client.{i}"))
-        client.start()
-        clients.append(client)
+    if isinstance(spec, OpenLoopSpec):
+        for i in range(spec.resolved_sources(config.n_clients)):
+            source = OpenLoopSource(env, i, front, workload,
+                                    streams.py_stream(f"source.{i}"), spec)
+            source.start()
+            clients.append(source)
+    else:
+        for i in range(config.n_clients):
+            client = Client(env, i, front, workload,
+                            streams.py_stream(f"client.{i}"))
+            client.start()
+            clients.append(client)
 
     return Simulation(config=config, env=env, streams=streams, ns=ns,
                       snapshot=snapshot, cluster=cluster, clients=clients,
-                      workload=workload, tracer=tracer)
+                      workload=workload, tracer=tracer, proxy=proxy)
 
 
 def _size_cache(config: ExperimentConfig, total_metadata: int):
@@ -183,15 +205,30 @@ def _size_cache(config: ExperimentConfig, total_metadata: int):
                                journal_capacity=capacity)
 
 
-def _make_workload(config: ExperimentConfig, ns: Namespace,
-                   snapshot: SnapshotStats, strategy=None):
-    args = dict(config.workload_args)
-    kind = config.workload
+def _make_workload(config: ExperimentConfig, spec: WorkloadSpec,
+                   ns: Namespace, snapshot: SnapshotStats, strategy=None):
+    if isinstance(spec, OpenLoopSpec):
+        # the op *mix* is orthogonal to the arrival *process*: reuse the
+        # closed-loop generator for ops (its next_delay is never called)
+        # and pace submissions with the configured arrival process
+        inner = _make_workload(
+            config,
+            ClosedLoopSpec(kind=spec.kind, think_time_s=1.0,
+                           args=spec.args, op_weights=spec.op_weights),
+            ns, snapshot, strategy)
+        n_sources = spec.resolved_sources(config.n_clients)
+        hot_target = (_flash_target(ns, snapshot)
+                      if spec.hotspot_prob > 0 else None)
+        return OpenLoopWorkload(inner, make_arrivals(spec, n_sources),
+                                spec, hot_target)
+
+    args = dict(spec.args)
+    kind = spec.kind
 
     if kind in ("general", "scaling"):
-        weights = config.op_weights or (
+        weights = spec.op_weights or (
             dict(SCALING_MIX) if kind == "scaling" else None)
-        spec_kw = dict(think_time_s=config.think_time_s)
+        spec_kw = dict(think_time_s=spec.think_time_s)
         if weights is not None:
             spec_kw["op_weights"] = weights
         for key in ("move_dir_prob", "shared_tree_prob",
@@ -215,9 +252,9 @@ def _make_workload(config: ExperimentConfig, ns: Namespace,
             shift_time_s=args.get("shift_time_s", 10.0),
             migrate_fraction=args.get("migrate_fraction", 0.5),
             victim_roots=victim_roots)
-        spec_kw = dict(think_time_s=config.think_time_s)
-        if config.op_weights is not None:
-            spec_kw["op_weights"] = config.op_weights
+        spec_kw = dict(think_time_s=spec.think_time_s)
+        if spec.op_weights is not None:
+            spec_kw["op_weights"] = spec.op_weights
         return ShiftingWorkload(ns, snapshot.user_roots, shift,
                                 GeneralWorkloadSpec(**spec_kw))
 

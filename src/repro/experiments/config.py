@@ -17,21 +17,98 @@ from __future__ import annotations
 import dataclasses
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple, Union
 
+from .._fastpath import FASTPATH_ENV, fastpath_enabled
 from ..mds import SimParams
 from ..mds.messages import OpType
+from ..proxy import ProxySpec
+from .workload import WorkloadSpec, normalize_workload
+
+#: Experiment scale factor: multiplies namespace, population and duration.
+SCALE_ENV = "REPRO_SCALE"
+
+#: Sweep execution switch: unset/"auto" picks parallel when it can help,
+#: "0"/"off"/"serial"/"false" forces serial, an integer pins worker count.
+PARALLEL_ENV = "REPRO_PARALLEL"
+
+_PARALLEL_SERIAL_TOKENS = frozenset({"0", "off", "serial", "false", "no"})
+_PARALLEL_AUTO_TOKENS = frozenset({"", "1", "on", "auto", "true", "yes"})
 
 
 def env_scale(default: float = 1.0) -> float:
     """Experiment scale factor from the REPRO_SCALE environment variable."""
-    raw = os.environ.get("REPRO_SCALE")
+    raw = os.environ.get(SCALE_ENV)
     if raw is None:
         return default
     value = float(raw)
     if value <= 0:
-        raise ValueError(f"REPRO_SCALE must be positive, got {raw!r}")
+        raise ValueError(f"{SCALE_ENV} must be positive, got {raw!r}")
     return value
+
+
+def parse_parallel_env(raw: Optional[str]) -> "Tuple[Optional[bool], Optional[int]]":
+    """Interpret a ``REPRO_PARALLEL`` value.
+
+    Returns ``(decision, pinned_workers)``: decision ``False`` forces
+    serial, ``True`` means parallel with ``pinned_workers`` processes, and
+    ``None`` leaves the choice to the auto heuristic.  Raises on tokens
+    that are neither a mode word nor a worker count.
+    """
+    if raw is None:
+        return None, None
+    token = raw.strip().lower()
+    if token in _PARALLEL_SERIAL_TOKENS:
+        return False, None
+    if token in _PARALLEL_AUTO_TOKENS:
+        return None, None
+    try:
+        pinned = int(token)
+    except ValueError:
+        raise ValueError(
+            f"{PARALLEL_ENV}={raw!r} is neither a mode token nor a "
+            "worker count") from None
+    if pinned <= 1:
+        return False, None
+    return True, pinned
+
+
+@dataclass(frozen=True)
+class EnvGates:
+    """Resolved values of the three runtime environment gates.
+
+    ``parallel`` is ``None`` when the decision is left to the sweep
+    executor's auto heuristic; ``parallel_workers`` is the pinned worker
+    count when ``REPRO_PARALLEL=<n>`` named one.
+    """
+
+    fastpath: bool
+    parallel: Optional[bool]
+    parallel_workers: Optional[int]
+    scale: float
+
+
+def env_gates(config: "Optional[ExperimentConfig]" = None, *,
+              default_scale: float = 1.0) -> EnvGates:
+    """Resolve every runtime gate in one documented place.
+
+    Precedence, per gate: **explicit config field > env var > default**.
+
+    * ``fastpath`` — no config field exists (the fast lane is pure
+      memoisation, never a per-experiment knob): ``REPRO_FASTPATH``
+      (default on, see :data:`repro._fastpath.FASTPATH_ENV`).
+    * ``parallel`` — ``config.parallel`` when set, else ``REPRO_PARALLEL``
+      (:func:`parse_parallel_env`), else ``None`` (auto).
+    * ``scale`` — ``config.scale`` when a config is given (the field is
+      always explicit on a config), else ``REPRO_SCALE``, else
+      ``default_scale``.
+    """
+    parallel, workers = parse_parallel_env(os.environ.get(PARALLEL_ENV))
+    if config is not None and config.parallel is not None:
+        parallel = config.parallel
+    scale = config.scale if config is not None else env_scale(default_scale)
+    return EnvGates(fastpath=fastpath_enabled(), parallel=parallel,
+                    parallel_workers=workers, scale=scale)
 
 
 @dataclass(frozen=True)
@@ -62,10 +139,18 @@ class ExperimentConfig:
     warmup_s: float = 2.0
     duration_s: float = 4.0
 
-    # workload
-    workload: str = "general"  # general | scaling | shifting | scientific | flash
+    # workload: a typed spec (ClosedLoopSpec / OpenLoopSpec), or — legacy,
+    # deprecated — a kind string combined with the flat knobs below
+    # (think_time_s / workload_args / op_weights), which maps onto an
+    # equivalent ClosedLoopSpec via the warn-once shim in
+    # repro.experiments.workload.
+    workload: Union[str, WorkloadSpec] = "general"
     workload_args: Dict[str, float] = field(default_factory=dict)
     op_weights: Optional[Dict[OpType, float]] = None
+
+    # adaptive proxy tier in front of the cluster (None = clients talk to
+    # the MDS nodes directly, exactly the pre-proxy wiring)
+    proxy: Optional[ProxySpec] = None
 
     # observability: fraction of requests carrying a span trace (0.0 keeps
     # the hot path untraced and event-for-event identical to an untraced
@@ -103,6 +188,19 @@ class ExperimentConfig:
     @property
     def measure_window(self) -> "tuple[float, float]":
         return (self.warmup_s, self.run_until_s)
+
+    def workload_spec(self) -> WorkloadSpec:
+        """The workload as a validated typed spec.
+
+        Folds the legacy flat-knob form (string ``workload`` plus
+        ``think_time_s``/``workload_args``/``op_weights``) into the
+        equivalent :class:`~repro.experiments.workload.ClosedLoopSpec`,
+        warning once per process; typed specs validate and pass through.
+        """
+        return normalize_workload(self.workload,
+                                  think_time_s=self.think_time_s,
+                                  workload_args=self.workload_args,
+                                  op_weights=self.op_weights)
 
     def replace(self, **kw) -> "ExperimentConfig":
         return dataclasses.replace(self, **kw)

@@ -166,6 +166,10 @@ def _average_results(results: List[SteadyStateResult]) -> SteadyStateResult:
         latency_p50_s=sum(r.latency_p50_s for r in results) / n,
         latency_p95_s=sum(r.latency_p95_s for r in results) / n,
         latency_p99_s=sum(r.latency_p99_s for r in results) / n,
+        offered_ops=sum(r.offered_ops for r in results),
+        dropped_ops=sum(r.dropped_ops for r in results),
+        slo_violations=sum(r.slo_violations for r in results),
+        goodput_ops_per_s=sum(r.goodput_ops_per_s for r in results) / n,
     )
 
 

@@ -27,6 +27,11 @@ class SteadyStateResult:
     latency_p50_s: float = 0.0
     latency_p95_s: float = 0.0
     latency_p99_s: float = 0.0
+    # overload accounting (zero for classic closed-loop runs)
+    offered_ops: int = 0
+    dropped_ops: int = 0
+    slo_violations: int = 0
+    goodput_ops_per_s: float = 0.0
 
 
 def run_steady_state(config: ExperimentConfig) -> SteadyStateResult:
@@ -49,6 +54,10 @@ def run_steady_state(config: ExperimentConfig) -> SteadyStateResult:
         latency_p50_s=summary.latency_p50_s,
         latency_p95_s=summary.latency_p95_s,
         latency_p99_s=summary.latency_p99_s,
+        offered_ops=summary.offered_ops,
+        dropped_ops=summary.dropped_ops,
+        slo_violations=summary.slo_violations,
+        goodput_ops_per_s=summary.goodput_ops_per_s,
     )
 
 

@@ -11,7 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from ..metrics import EMPTY_SUMMARY, LatencySummary, format_table
+from ..metrics import (EMPTY_SUMMARY, LatencyHistogram, LatencySummary,
+                       format_table)
 
 if TYPE_CHECKING:  # pragma: no cover
     from ._build import Simulation
@@ -48,6 +49,18 @@ class ClusterSummary:
     #: (identical summary reprs in both modes).
     kernel: Optional[Dict[str, float]] = field(default=None, repr=False,
                                                compare=False)
+    #: overload accounting (open-loop generators / bounded inboxes).  All
+    #: zero for classic closed-loop runs; excluded from repr so those
+    #: summaries stay byte-identical to their pre-overload form.  The
+    #: values themselves are deterministic and mode-invariant (they DO
+    #: participate in ``==``).
+    offered_ops: int = field(default=0, repr=False)
+    dropped_ops: int = field(default=0, repr=False)
+    slo_violations: int = field(default=0, repr=False)
+    #: within-SLO completions per second over the window
+    goodput_ops_per_s: float = field(default=0.0, repr=False)
+    #: aggregated proxy-tier counters, when a proxy fronted the cluster
+    proxy: Optional[Dict[str, int]] = field(default=None, repr=False)
 
     @property
     def latency_p50_s(self) -> float:
@@ -81,8 +94,19 @@ class ClusterSummary:
              f"{self.latency.p95_s * 1e3:.3f}/"
              f"{self.latency.p99_s * 1e3:.3f}"),
         ]
+        if self.offered_ops or self.dropped_ops or self.slo_violations:
+            rows.extend([
+                ("offered ops", self.offered_ops),
+                ("dropped ops", self.dropped_ops),
+                ("slo violations", self.slo_violations),
+                ("goodput (ops/s)", round(self.goodput_ops_per_s, 1)),
+            ])
         text = format_table(["metric", "value"], rows,
                             title="cluster summary")
+        if self.proxy:
+            proxy_rows = sorted(self.proxy.items())
+            text += "\n" + format_table(["counter", "value"], proxy_rows,
+                                        title="proxy tier")
         if self.latency_by_op:
             op_rows = [
                 (op, s.count, round(s.mean_s * 1e3, 3),
@@ -109,12 +133,41 @@ def summarize_simulation(sim: "Simulation",
     lat = [c.stats.mean_latency_s for c in sim.clients
            if c.stats.ops_completed]
     stats = cluster.node_stats()
+    # overload accounting: open-loop sources carry the extra counters;
+    # duck-typing keeps classic closed-loop clients zero-cost
+    offered = 0
+    slo_viol = 0
+    good = 0
+    open_latencies: List[float] = []
+    for c in sim.clients:
+        cs = c.stats
+        offered += getattr(cs, "offered", 0)
+        slo_viol += getattr(cs, "slo_violations", 0)
+        buckets = getattr(cs, "good_by_time", None)
+        if buckets is not None:
+            good += buckets.count_in(*window)
+        samples = getattr(cs, "ok_latency_by_time", None)
+        if samples:
+            open_latencies.extend(
+                l for t, l in samples if window[0] <= t < window[1])
+    width = window[1] - window[0]
+    goodput = good / width if width > 0 else 0.0
+    dropped = sum(s.drops for s in stats)
+    proxy_stats = sim.proxy.stats_dict() if sim.proxy is not None else None
     if sim.tracer is not None:
         overall = sim.tracer.latency_overall.summary()
         by_op = sim.tracer.latency_summaries()
     else:
         overall = EMPTY_SUMMARY
         by_op = {}
+    if open_latencies:
+        # open-loop runs report the measure-window tail: the run-wide
+        # tracer histogram folds cold-start (warmup) latencies into p99,
+        # which is exactly what an overload figure must not measure
+        hist = LatencyHistogram()
+        for latency in open_latencies:
+            hist.record(latency)
+        overall = hist.summary()
     return ClusterSummary(
         n_mds=cluster.n_mds,
         window=window,
@@ -132,4 +185,9 @@ def summarize_simulation(sim: "Simulation",
         latency_by_op=by_op,
         total_metadata=sim.total_metadata,
         kernel=sim.env.kernel_stats(),
+        offered_ops=offered,
+        dropped_ops=dropped,
+        slo_violations=slo_viol,
+        goodput_ops_per_s=goodput,
+        proxy=proxy_stats,
     )

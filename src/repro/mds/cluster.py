@@ -22,7 +22,7 @@ from .config import SimParams
 from .dirfrag import DirFragManager
 from .distmemo import DistributionMemo
 from .loadbalance import LoadBalancer
-from .messages import MdsReply, MdsRequest
+from .messages import OVERLOAD_ERROR, MdsReply, MdsRequest
 from .node import MdsNode
 from .stats import NodeStats, aggregate_forward_fraction, aggregate_hit_rate
 
@@ -74,6 +74,13 @@ class MdsCluster:
         #: unlinked-while-open inodes -> the node retaining them (§4.5)
         self.orphan_authorities: Dict[int, int] = {}
         self.deferred_work_created = 0
+        #: admission control (None = unbounded, the exact legacy path).
+        #: The bound is checked at *dispatch* against a per-node
+        #: outstanding-request counter rather than at arrival against the
+        #: inbox deque: counter updates happen at the same simulated
+        #: instants in both fast-lane modes, so drop decisions — and with
+        #: them whole-run results — stay bit-identical across modes.
+        self._admission: Optional[int] = params.inbox_capacity
 
         self.nodes: List[MdsNode] = [
             MdsNode(env, i, self, params) for i in range(self.n_mds)]
@@ -154,6 +161,20 @@ class MdsCluster:
         if self.nodes[node_id].failed:
             request.hops += 1
             node_id = self.pick_live_node()
+        capacity = self._admission
+        if capacity is not None:
+            node = self.nodes[node_id]
+            if node.inflight >= capacity:
+                # inbox full: shed the request with an explicit overload
+                # reply instead of queueing without bound
+                node.stats.record_drop(self.env.now)
+                self._send_reply(request, MdsReply(
+                    ok=False, served_by=node_id, op=request.op,
+                    path=request.path, error=OVERLOAD_ERROR,
+                    forwarded=request.hops,
+                    latency_s=self.env.now - request.submitted_at))
+                return
+            node.inflight += 1
         now = self.env.now
         request.enqueued_at = now + self.params.net_hop_s
         if request.trace is not None:
@@ -167,6 +188,13 @@ class MdsCluster:
 
     def reply_later(self, request: MdsRequest, reply: MdsReply) -> None:
         """Complete a request's done-event after one network hop."""
+        if self._admission is not None:
+            # the serving node releases its outstanding-request slot
+            self.nodes[reply.served_by].inflight -= 1
+        self._send_reply(request, reply)
+
+    def _send_reply(self, request: MdsRequest, reply: MdsReply) -> None:
+        """Schedule delivery of ``reply`` (no admission bookkeeping)."""
         done = request.done
         assert done is not None
         if request.trace is not None:

@@ -36,6 +36,12 @@ class SimParams:
     writeback_flush_s: float = 0.25  # tier-2 writeback batching window
     workers_per_node: int = 4        # concurrent request handlers per MDS
     osds_per_mds: int = 2            # shared OSD pool scales with cluster
+    #: admission control: bound on requests outstanding at one node
+    #: (in flight to it + queued + in service).  Arrivals beyond the bound
+    #: are shed at dispatch with an overload error reply (the client sees
+    #: an explicit drop, not unbounded queueing).  None = unbounded inbox,
+    #: the pre-admission-control behaviour, event-for-event.
+    inbox_capacity: Optional[int] = None
 
     # -- prefetch placement (§4.5) --------------------------------------------
     # True inserts prefetched siblings at the cold end of the LRU (the
@@ -111,6 +117,8 @@ class SimParams:
                 "dirfrag_unfrag_size must be below dirfrag_size_threshold")
         if self.max_forward_hops < 1:
             raise ValueError("max_forward_hops must be >= 1")
+        if self.inbox_capacity is not None and self.inbox_capacity < 1:
+            raise ValueError("inbox_capacity must be >= 1 when set")
         if self.node_speed_factors is not None:
             for i in range(len(self.node_speed_factors)):
                 self.speed_of(i)  # raises on non-positive entries

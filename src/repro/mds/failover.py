@@ -83,6 +83,8 @@ def fail_node(cluster: "MdsCluster", node_id: int,
     while len(node.inbox):
         pending = node.inbox._items.popleft()
         pending.hops += 1
+        if cluster._admission is not None:
+            node.inflight -= 1  # leaving the dead node's books
         cluster.deliver_later(cluster.pick_live_node(), pending)
     return reassigned
 

@@ -17,6 +17,10 @@ if TYPE_CHECKING:  # pragma: no cover
 #: contact any of them (§4.4).
 ANY_NODE = -1
 
+#: Error string on replies shed by admission control (bounded inboxes).
+#: Clients distinguish a deliberate drop from an FS error by this marker.
+OVERLOAD_ERROR = "overloaded: inbox full"
+
 #: Shared immutable empty distribution info.  Most replies carry no location
 #: hints (the client already knew where to go), so allocating a fresh dict
 #: per reply via ``default_factory`` was pure churn; every such reply now

@@ -60,6 +60,10 @@ class MdsNode:
         self.popularity = PopularityMap(params.popularity_halflife_s)
         self.stats = NodeStats(bucket_width_s=params.stats_bucket_s)
         self.failed = False  # set by mds.failover; a dead node serves nothing
+        #: requests outstanding at this node (in flight + queued + in
+        #: service); maintained only when admission control is on
+        #: (``SimParams.inbox_capacity``), otherwise stays 0
+        self.inflight = 0
         #: open-file handles this authority has exposed: ino -> refcount.
         #: The cache entry is pinned while open; an unlinked-while-open
         #: inode is retained as a namespace orphan until the last close
@@ -123,6 +127,8 @@ class MdsNode:
             # a dead server answers nothing: the client's retry lands on a
             # random live node (which forwards to the new authority)
             req.hops += 1
+            if self.cluster._admission is not None:
+                self.inflight -= 1  # the request leaves this node
             self.cluster.deliver_later(self.cluster.pick_live_node(), req)
             return
         ns = self.cluster.ns
@@ -279,6 +285,8 @@ class MdsNode:
             # error rather than looping forever.
             self._reply(req, ok=False, error="too many forwards")
             return
+        if self.cluster._admission is not None:
+            self.inflight -= 1  # handing off: the authority re-admits it
         self.cluster.deliver_later(authority, req)
 
     # ------------------------------------------------------------------

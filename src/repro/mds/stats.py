@@ -17,6 +17,7 @@ class NodeStats:
     ops_served: int = 0          # requests this node replied to
     forwards: int = 0            # requests this node passed along
     errors: int = 0              # ops that failed with an FS error
+    drops: int = 0               # arrivals shed by admission control
     cache_hits: int = 0          # inode lookups satisfied from cache
     cache_misses: int = 0        # inode lookups requiring a fetch
     remote_fetches: int = 0      # prefix/replica fetches from peer nodes
@@ -32,6 +33,7 @@ class NodeStats:
 
     served_by_time: BucketCounter = field(init=False)
     forwards_by_time: BucketCounter = field(init=False)
+    drops_by_time: BucketCounter = field(init=False)
     deltas: DeltaTracker = field(default_factory=DeltaTracker)
     #: inbox-queueing delay of every request this node picked up; the load
     #: balancer reads interval percentiles out of this (not just counts)
@@ -40,6 +42,7 @@ class NodeStats:
     def __post_init__(self) -> None:
         self.served_by_time = BucketCounter(self.bucket_width_s)
         self.forwards_by_time = BucketCounter(self.bucket_width_s)
+        self.drops_by_time = BucketCounter(self.bucket_width_s)
         self.queue_delay = LatencyHistogram(lo=1e-6, hi=100.0)
 
     # -- recording helpers --------------------------------------------------
@@ -55,6 +58,11 @@ class NodeStats:
 
     def record_queue_delay(self, delay_s: float) -> None:
         self.queue_delay.record(delay_s)
+
+    def record_drop(self, now: float) -> None:
+        self.drops += 1
+        self.drops_by_time.add(now)
+        self.deltas.add("drops")
 
     def record_hit(self) -> None:
         self.cache_hits += 1

@@ -43,16 +43,14 @@ from typing import Callable, List, Optional, Sequence, Union
 
 import multiprocessing
 
-from ..experiments.config import ExperimentConfig
+from ..experiments.config import ExperimentConfig, PARALLEL_ENV, \
+    parse_parallel_env
 from ..experiments.runner import (SteadyStateResult, TimelineResult,
                                   run_steady_state, run_timeline)
 
-#: Environment switch: unset/"auto" picks parallel when it can help,
-#: "0"/"off"/"serial"/"false" forces serial, an integer pins worker count.
-PARALLEL_ENV = "REPRO_PARALLEL"
-
-_SERIAL_TOKENS = frozenset({"0", "off", "serial", "false", "no"})
-_AUTO_TOKENS = frozenset({"", "1", "on", "auto", "true", "yes"})
+# PARALLEL_ENV is re-exported here for backward compatibility; the parsing
+# itself lives with the other env gates in repro.experiments.config
+# (env_gates / parse_parallel_env).
 
 
 class SweepError(RuntimeError):
@@ -122,18 +120,11 @@ def resolve_mode(configs: Sequence[ExperimentConfig],
     if any(cfg.parallel is False for cfg in configs):
         return False, 1
 
-    raw = os.environ.get(PARALLEL_ENV, "").strip().lower()
-    if raw in _SERIAL_TOKENS:
+    decision, pinned = parse_parallel_env(os.environ.get(PARALLEL_ENV))
+    if decision is False:
         return False, 1
-    if raw and raw not in _AUTO_TOKENS:
-        try:
-            pinned = int(raw)
-        except ValueError:
-            raise ValueError(
-                f"{PARALLEL_ENV}={raw!r} is neither a mode token nor a "
-                "worker count") from None
-        if pinned <= 1:
-            return False, 1
+    if decision is True:
+        assert pinned is not None
         return True, (max_workers or pinned)
 
     if cpus <= 1 or len(configs) <= 1:

@@ -1,0 +1,10 @@
+"""Adaptive metadata proxy tier (MIDAS-style) in front of the MDS cluster.
+
+See :mod:`repro.proxy.tier` for the model and :class:`ProxySpec` for the
+knobs.  ``ExperimentConfig.proxy = ProxySpec(...)`` wires the tier between
+the clients and the cluster; ``None`` keeps the direct pre-proxy path.
+"""
+
+from .tier import ProxySpec, ProxyStats, ProxyTier
+
+__all__ = ["ProxySpec", "ProxyStats", "ProxyTier"]

@@ -1,0 +1,85 @@
+"""Open-loop load generators: determinism, rates, drop/SLO accounting."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, OpenLoopSpec, build_simulation
+
+
+def open_cfg(arrival="poisson", rate=2000.0, **kw):
+    spec = OpenLoopSpec(kind="general", arrival=arrival,
+                        rate_ops_per_s=rate, sources=8)
+    base = dict(n_mds=2, scale=0.25, workload=spec, warmup_s=0.2,
+                duration_s=0.4, cache_capacity_per_mds=2000)
+    base.update(kw)
+    return ExperimentConfig(**base)
+
+
+def run(cfg):
+    sim = build_simulation(cfg)
+    sim.run_to(cfg.run_until_s)
+    return sim
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("arrival", ["poisson", "bursty"])
+    def test_fixed_seed_runs_are_identical(self, arrival):
+        a = run(open_cfg(arrival=arrival)).summary()
+        b = run(open_cfg(arrival=arrival)).summary()
+        assert repr(a) == repr(b)
+        assert a.offered_ops == b.offered_ops
+        assert a.dropped_ops == b.dropped_ops
+
+    def test_different_seeds_differ(self):
+        a = run(open_cfg()).summary()
+        b = run(open_cfg(seed=7)).summary()
+        assert a.offered_ops != b.offered_ops
+
+
+class TestOfferedRate:
+    def test_poisson_offered_matches_configured_rate(self):
+        cfg = open_cfg(rate=2000.0)
+        summary = run(cfg).summary()
+        expected = 2000.0 * cfg.run_until_s
+        # Poisson count over ~600 expected arrivals: 4 sigma ~ 10%
+        assert summary.offered_ops == pytest.approx(expected, rel=0.10)
+
+    def test_bursty_preserves_long_run_rate(self):
+        # heavy-tailed on/off modulation conserves the mean rate, but the
+        # variance of a short window is large: assert the right order of
+        # magnitude, not the exact count
+        cfg = open_cfg(arrival="bursty", rate=2000.0, duration_s=2.0)
+        summary = run(cfg).summary()
+        expected = 2000.0 * cfg.run_until_s
+        assert 0.3 * expected < summary.offered_ops < 2.5 * expected
+
+    def test_sources_never_block_on_replies(self):
+        # a saturated 1-node cluster cannot slow the generators down:
+        # offered load stays at the configured rate even while drops mount
+        cfg = open_cfg(rate=8000.0, n_mds=1)
+        summary = run(cfg).summary()
+        assert summary.offered_ops == pytest.approx(
+            8000.0 * cfg.run_until_s, rel=0.10)
+
+
+class TestAccounting:
+    def test_offered_splits_into_outcomes(self):
+        sim = run(open_cfg())
+        offered = sum(c.stats.offered for c in sim.clients)
+        completed = sum(c.stats.ops_completed for c in sim.clients)
+        dropped = sum(c.stats.dropped for c in sim.clients)
+        # whatever was offered either completed, was dropped, or is still
+        # in flight at the end of the run
+        assert completed + dropped <= offered
+        assert offered - (completed + dropped) < 200  # bounded in-flight
+
+    def test_goodput_counts_only_within_slo(self):
+        summary = run(open_cfg()).summary()
+        window = summary.window[1] - summary.window[0]
+        good = summary.goodput_ops_per_s * window
+        assert 0 < good <= summary.offered_ops
+
+    def test_slo_violations_appear_under_overload(self):
+        spec = OpenLoopSpec(kind="general", rate_ops_per_s=9000.0,
+                            sources=8, slo_latency_s=0.0005)
+        summary = run(open_cfg().replace(workload=spec)).summary()
+        assert summary.slo_violations > 0

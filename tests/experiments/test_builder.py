@@ -60,9 +60,9 @@ def test_unknown_workload_rejected():
 
 def test_make_workload_rejects_unknown_kind_directly():
     sim = build_simulation(small())
+    cfg = small().replace(workload="bogus")
     with pytest.raises(ValueError, match="unknown workload kind 'bogus'"):
-        _make_workload(small().replace(workload="bogus"), sim.ns,
-                       sim.snapshot)
+        _make_workload(cfg, cfg.workload_spec(), sim.ns, sim.snapshot)
 
 
 class TestSizeCache:

@@ -1,0 +1,97 @@
+"""The typed WorkloadSpec API and the legacy flat-knob shim."""
+
+import warnings
+
+import pytest
+
+from repro.experiments import (ClosedLoopSpec, ExperimentConfig, OpenLoopSpec,
+                               build_simulation, normalize_workload)
+from repro.experiments import workload as workload_mod
+
+
+def small(**kw):
+    return ExperimentConfig(n_mds=3, scale=0.2, warmup_s=0.2,
+                            duration_s=0.5, **kw)
+
+
+def run_summary(cfg):
+    sim = build_simulation(cfg)
+    sim.run_to(cfg.run_until_s)
+    return repr(sim.summary())
+
+
+class TestLegacyShim:
+    def test_legacy_string_equivalent_to_explicit_spec(self):
+        legacy = small(workload="general", think_time_s=0.004,
+                       workload_args={"mkdir_bias": 0.2})
+        typed = small(workload=ClosedLoopSpec(
+            kind="general", think_time_s=0.004,
+            args={"mkdir_bias": 0.2}))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert run_summary(legacy) == run_summary(typed)
+
+    def test_legacy_string_warns_once_per_process(self, monkeypatch):
+        monkeypatch.setattr(workload_mod, "_legacy_warned", False)
+        cfg = small(workload="general")
+        with pytest.warns(DeprecationWarning,
+                          match="flat knobs .* deprecated"):
+            cfg.workload_spec()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            cfg.workload_spec()  # second call: no warning
+
+    def test_typed_spec_never_warns(self, monkeypatch):
+        monkeypatch.setattr(workload_mod, "_legacy_warned", False)
+        cfg = small(workload=ClosedLoopSpec())
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            cfg.workload_spec()
+
+    def test_normalize_rejects_wrong_type(self):
+        with pytest.raises(TypeError, match="workload must be"):
+            normalize_workload(123, think_time_s=0.006,
+                               workload_args={}, op_weights=None)
+
+
+class TestSpecValidation:
+    def test_closed_loop_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown workload kind"):
+            ClosedLoopSpec(kind="bogus").validate()
+
+    def test_closed_loop_rejects_nonpositive_think_time(self):
+        with pytest.raises(ValueError, match="think_time_s"):
+            ClosedLoopSpec(think_time_s=0.0).validate()
+
+    def test_open_loop_needs_a_rate(self):
+        with pytest.raises(ValueError, match="rate_ops_per_s or"):
+            OpenLoopSpec().validate()
+
+    def test_open_loop_rejects_unknown_arrival(self):
+        with pytest.raises(ValueError, match="unknown arrival process"):
+            OpenLoopSpec(rate_ops_per_s=100.0, arrival="fractal").validate()
+
+    def test_open_loop_rejects_shallow_pareto_tail(self):
+        with pytest.raises(ValueError, match="burst_alpha"):
+            OpenLoopSpec(rate_ops_per_s=100.0, burst_alpha=1.0).validate()
+
+    def test_open_loop_rejects_bad_hotspot_prob(self):
+        with pytest.raises(ValueError, match="hotspot_prob"):
+            OpenLoopSpec(rate_ops_per_s=100.0, hotspot_prob=1.5).validate()
+
+
+class TestSpecDerivations:
+    def test_rate_from_nominal_users(self):
+        spec = OpenLoopSpec(nominal_users=2_000_000,
+                            per_user_ops_per_s=0.008)
+        assert spec.offered_rate_ops_per_s == pytest.approx(16_000.0)
+        assert spec.implied_users == 2_000_000
+
+    def test_users_implied_from_rate(self):
+        spec = OpenLoopSpec(rate_ops_per_s=5000.0, per_user_ops_per_s=0.01)
+        assert spec.implied_users == 500_000
+
+    def test_sources_default_to_client_population(self):
+        assert OpenLoopSpec(rate_ops_per_s=1.0).resolved_sources(24) == 24
+        assert OpenLoopSpec(rate_ops_per_s=1.0,
+                            sources=8).resolved_sources(24) == 8

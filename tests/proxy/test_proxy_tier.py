@@ -1,0 +1,129 @@
+"""The adaptive proxy tier: absorption, invalidation, delegation."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, OpenLoopSpec, build_simulation
+from repro.mds import SimParams
+from repro.mds.messages import MdsRequest, OpType
+from repro.proxy import ProxySpec, ProxyTier
+
+
+def proxied_cfg(hotspot=True, proxy_spec=None, **kw):
+    spec = OpenLoopSpec(
+        kind="general", rate_ops_per_s=4000.0, sources=8,
+        hotspot_prob=0.8 if hotspot else 0.0,
+        hotspot_start_s=0.15, hotspot_duration_s=0.3)
+    base = dict(
+        n_mds=2, scale=0.25, workload=spec, warmup_s=0.2, duration_s=0.4,
+        cache_capacity_per_mds=2000,
+        params=SimParams(inbox_capacity=32),
+        proxy=proxy_spec or ProxySpec(hot_threshold=5.0))
+    base.update(kw)
+    return ExperimentConfig(**base)
+
+
+def run(cfg):
+    sim = build_simulation(cfg)
+    sim.run_to(cfg.run_until_s)
+    return sim
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("n_proxies", 0), ("cpu_op_s", -1.0), ("cache_ttl_s", 0.0),
+        ("hot_threshold", 0.0), ("popularity_halflife_s", 0.0),
+        ("max_cached_paths", 0), ("overload_retries", -1),
+        ("retry_backoff_s", -0.001)])
+    def test_rejects_bad_knobs(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            ProxySpec(**{field: value}).validate()
+
+    def test_defaults_validate(self):
+        assert ProxySpec().validate() is not None
+
+
+class TestAbsorption:
+    def test_hotspot_reads_are_absorbed(self):
+        sim = run(proxied_cfg())
+        stats = sim.proxy.stats_dict()
+        assert stats["absorbed"] > 0
+        # the cache saved real upstream round trips
+        assert stats["forwarded"] < stats["requests"]
+
+    def test_no_hotspot_little_absorption(self):
+        hot = run(proxied_cfg(hotspot=True)).proxy.stats_dict()
+        cold = run(proxied_cfg(hotspot=False)).proxy.stats_dict()
+        assert cold["absorbed"] < hot["absorbed"]
+
+    def test_stats_dict_shape(self):
+        stats = run(proxied_cfg()).proxy.stats_dict()
+        assert set(stats) == {"requests", "absorbed", "coalesced",
+                              "forwarded", "invalidations", "retries"}
+        assert all(v >= 0 for v in stats.values())
+
+    def test_requests_all_routed_through_proxies(self):
+        sim = run(proxied_cfg())
+        offered = sum(c.stats.offered for c in sim.clients)
+        assert sim.proxy.stats_dict()["requests"] == offered
+
+
+class TestInvalidation:
+    def test_mutation_drops_cached_replies_on_every_node(self):
+        sim = run(proxied_cfg())
+        tier = sim.proxy
+        path = sim.snapshot.user_roots[0]
+        fake_reply = object()
+        for n in tier.nodes:
+            n._cache.clear()  # drop run leftovers so the delta is exact
+            n._cache[(OpType.OPEN, path)] = (fake_reply, sim.env.now)
+        before = sum(n.stats.invalidations for n in tier.nodes)
+        request = MdsRequest(op=OpType.UNLINK, path=path, client_id=0)
+        tier.invalidate(request)
+        assert all((OpType.OPEN, path) not in n._cache for n in tier.nodes)
+        after = sum(n.stats.invalidations for n in tier.nodes)
+        assert after - before == len(tier.nodes)
+
+    def test_unrelated_mutation_leaves_cache_alone(self):
+        sim = run(proxied_cfg())
+        tier = sim.proxy
+        cached, other = sim.snapshot.user_roots[:2]
+        node = tier.nodes[0]
+        node._cache[(OpType.OPEN, cached)] = (object(), sim.env.now)
+        request = MdsRequest(op=OpType.UNLINK, path=other, client_id=0)
+        tier.invalidate(request)
+        assert (OpType.OPEN, cached) in node._cache
+
+
+class TestDelegation:
+    def test_tier_exposes_cluster_surface(self):
+        sim = run(proxied_cfg())
+        tier = sim.proxy
+        assert tier.strategy is sim.cluster.strategy
+        assert tier.n_mds == sim.cluster.n_mds
+        assert tier.params is sim.cluster.params
+        assert tier.tracer is sim.cluster.tracer
+
+    def test_key_affinity_routing_is_stable_and_in_range(self):
+        sim = run(proxied_cfg())
+        tier = sim.proxy
+        for path in sim.snapshot.user_roots[:4]:
+            route = tier._route(path)
+            assert 0 <= route < len(tier.nodes)
+            assert route == tier._route(path)
+
+
+class TestDeterminism:
+    def test_proxy_runs_are_deterministic(self):
+        a = run(proxied_cfg())
+        b = run(proxied_cfg())
+        assert repr(a.summary()) == repr(b.summary())
+        assert a.proxy.stats_dict() == b.proxy.stats_dict()
+
+    def test_proxy_off_config_has_no_tier(self):
+        sim = run(proxied_cfg(proxy_spec=None, proxy=None))
+        assert sim.proxy is None
+        assert sim.summary().proxy is None
+
+    def test_summary_carries_proxy_counters(self):
+        sim = run(proxied_cfg())
+        assert sim.summary().proxy == sim.proxy.stats_dict()

@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Benchmark the overload scenarios and write ``BENCH_overload.json``.
+
+Runs the open-loop goodput-vs-offered-load sweep (dynamic subtree, with
+and without admission control, plus the proxy-fronted variant) and the
+flash-crowd hotspot head-to-head (§4.4 traffic control vs the proxy
+tier), recording:
+
+* goodput at the peak offered load with admission control on — the
+  headline "the cluster keeps working past saturation" number;
+* the shape checks the figures claim (no-AC goodput collapses past the
+  knee, AC goodput stays pinned; the proxy beats traffic control on p99
+  under the hotspot);
+* a fast-lane equivalence check on an admission+proxy configuration —
+  bounded inboxes and the proxy tier must be bit-identical across
+  ``REPRO_FASTPATH`` modes, exactly like the closed-loop path.
+
+The baseline is **read from the previously committed report** at
+``--out`` (its ``peak_ac_goodput_ops_per_s``), so every run is compared
+against the last recorded state of the tree.  Goodput is a simulated
+quantity — deterministic per seed, independent of host speed — so a >15%
+regression against the prior baseline means the *model* changed; it
+prints a warning but never fails the run (model changes can be
+deliberate).  The tool exits non-zero only when the fast-lane modes
+diverge.
+
+Usage:
+    PYTHONPATH=src python tools/bench_overload.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+import warnings
+
+from repro._fastpath import FASTPATH_ENV
+from repro.experiments._build import build_simulation
+from repro.experiments.overload import (fig_hotspot, fig_overload,
+                                        hotspot_config, overload_config)
+
+#: used only when no prior report exists at ``--out``
+FALLBACK_BASELINE_GOODPUT_OPS_S = 9500.0
+
+#: informational regression threshold against the prior recorded goodput
+REGRESSION_TOLERANCE = 0.15
+
+#: offered-load fractions for --quick runs (full runs use the figure's)
+QUICK_FRACTIONS = [0.5, 1.0, 1.6]
+
+#: the hotspot head-to-head runs at the smallest supported scale: its
+#: window is hotspot-dominated there (the countermeasure difference is
+#: the signal), and the sweep's collapse/hold shapes need the longer
+#: window of the default ``--scale``
+HOTSPOT_SCALE = 0.25
+
+
+def load_prior_report(path: str):
+    """Previously committed report at ``path``, or ``None``."""
+    try:
+        with open(path, "r", encoding="utf-8") as fp:
+            return json.load(fp)
+    except (OSError, ValueError):
+        return None
+
+
+def baseline_from_prior(prior) -> float:
+    """The prior report's recorded peak-AC goodput (or the fallback)."""
+    if prior:
+        rate = prior.get("peak_ac_goodput_ops_per_s")
+        if rate:
+            return float(rate)
+    return FALLBACK_BASELINE_GOODPUT_OPS_S
+
+
+def trajectory_from_prior(prior) -> list:
+    """The prior report's trajectory list (empty for a fresh report)."""
+    if not prior:
+        return []
+    return list(prior.get("trajectory") or [])
+
+
+def equivalence_check(scale: float):
+    """Admission + proxy summary comparison across fast-lane modes."""
+    cfg = overload_config(1.25, proxy=True, scale=scale)
+    summaries = {}
+    prior_env = os.environ.get(FASTPATH_ENV)
+    try:
+        for fastpath in (False, True):
+            os.environ[FASTPATH_ENV] = "1" if fastpath else "0"
+            sim = build_simulation(cfg)
+            sim.run_to(cfg.run_until_s)
+            s = sim.summary()
+            summaries[fastpath] = (repr(s), s.offered_ops, s.dropped_ops,
+                                   s.slo_violations, s.goodput_ops_per_s,
+                                   s.proxy)
+    finally:
+        if prior_env is None:
+            os.environ.pop(FASTPATH_ENV, None)
+        else:
+            os.environ[FASTPATH_ENV] = prior_env
+    return summaries[False] == summaries[True]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer offered-load points for CI")
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--out", default="BENCH_overload.json")
+    args = parser.parse_args(argv)
+
+    warnings.simplefilter("ignore", DeprecationWarning)
+    prior = load_prior_report(args.out)
+    baseline = baseline_from_prior(prior)
+    trajectory = trajectory_from_prior(prior)
+
+    fractions = QUICK_FRACTIONS if args.quick else None
+    t0 = time.perf_counter()
+    overload = fig_overload(scale=args.scale, fractions=fractions)
+    hotspot = fig_hotspot(scale=HOTSPOT_SCALE)
+    wall = time.perf_counter() - t0
+
+    # index the sweep: variant -> [(offered, goodput), ...] in load order
+    by_variant = {name: list(points)
+                  for name, points in overload.series.items()}
+    no_ac = by_variant["dynamic no-AC"]
+    ac = by_variant["dynamic AC"]
+    peak_ac_goodput = ac[-1][1]
+    # shape checks the overload figure claims
+    no_ac_collapses = no_ac[-1][1] < 0.5 * max(g for _o, g in no_ac)
+    ac_holds = ac[-1][1] >= 0.8 * max(g for _o, g in ac)
+
+    hot_rows = {row[0]: row for row in hotspot.rows}
+    proxy_p99 = hot_rows["proxy"][2]
+    tc_p99 = hot_rows["traffic-control"][2]
+    proxy_beats_tc = proxy_p99 < tc_p99
+
+    print(f"overload sweep + hotspot in {wall:.1f}s wall")
+    print(f"peak AC goodput {peak_ac_goodput:.0f} ops/s "
+          f"(no-AC collapses: {no_ac_collapses}, AC holds: {ac_holds})")
+    print(f"hotspot p99: proxy {proxy_p99:.2f} ms vs "
+          f"traffic control {tc_p99:.2f} ms "
+          f"(proxy wins: {proxy_beats_tc})")
+
+    identical = equivalence_check(args.scale)
+    print(f"fast-lane equivalence (admission+proxy): {identical}")
+
+    vs_baseline = peak_ac_goodput / baseline
+    regressed = peak_ac_goodput < (1.0 - REGRESSION_TOLERANCE) * baseline
+    if regressed:
+        print(f"WARNING: peak AC goodput {peak_ac_goodput:.0f} is "
+              f">{REGRESSION_TOLERANCE:.0%} below the prior recorded "
+              f"{baseline:.0f} ops/s (informational: the overload model "
+              f"changed; update expectations if deliberate)")
+
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "peak_ac_goodput_ops_per_s": round(peak_ac_goodput, 1),
+        "proxy_p99_ms": proxy_p99,
+        "tc_p99_ms": tc_p99,
+        "quick": args.quick,
+    }
+    trajectory.append(entry)
+
+    report = {
+        "benchmark": "open-loop overload & admission control",
+        "quick": args.quick,
+        "scale": args.scale,
+        "hotspot_scale": HOTSPOT_SCALE,
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "timestamp": entry["timestamp"],
+        "wall_s": round(wall, 1),
+        "baseline_peak_ac_goodput_ops_per_s": round(baseline, 1),
+        "peak_ac_goodput_ops_per_s": round(peak_ac_goodput, 1),
+        "goodput_vs_baseline": round(vs_baseline, 3),
+        "regressed_vs_baseline": regressed,
+        "shape": {
+            "no_ac_collapses_past_knee": no_ac_collapses,
+            "ac_goodput_holds": ac_holds,
+            "proxy_beats_tc_on_p99": proxy_beats_tc,
+        },
+        "goodput_by_variant": {
+            name: [[round(o, 1), round(g, 1)] for o, g in points]
+            for name, points in by_variant.items()
+        },
+        "hotspot": {
+            "headers": hotspot.headers,
+            "rows": [list(r) for r in hotspot.rows],
+        },
+        "identical_summaries_across_fastpath": identical,
+        "trajectory": trajectory,
+    }
+    with open(args.out, "w", encoding="utf-8") as fp:
+        json.dump(report, fp, indent=2)
+        fp.write("\n")
+    print(f"report written to {args.out}")
+    if not identical:
+        print("ERROR: fast-lane summaries diverged on the overload path")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
