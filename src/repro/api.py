@@ -35,8 +35,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from .experiments._build import Simulation, build_simulation
-from .experiments.config import (EnvGates, ExperimentConfig, env_gates,
-                                 env_scale, parse_parallel_env)
+from .experiments.config import (SHARDS_ENV, EnvGates, ExperimentConfig,
+                                 env_gates, env_scale, parse_parallel_env,
+                                 parse_shards_env, resolve_shard_count)
 from .experiments.extensions import extA_scientific, scientific_config
 from .experiments.figures import (FIGURES, FigureResult, fig2, fig3, fig4,
                                   fig5, fig6, fig7, flash_config,
@@ -56,6 +57,8 @@ from .obs import (JsonlSink, RingBufferSink, Span, Trace, Tracer,
 from .parallel import (SweepError, TaskError, require_ok, run_many,
                        run_many_timeline)
 from .proxy import ProxySpec, ProxyTier
+from .shard import (ShardingUnsupported, run_sharded, run_sharded_summary,
+                    shard_viability, sharded_config)
 
 
 @dataclass
@@ -140,6 +143,15 @@ __all__ = [
     "require_ok",
     "run_many",
     "run_many_timeline",
+    # within-experiment sharding
+    "SHARDS_ENV",
+    "ShardingUnsupported",
+    "parse_shards_env",
+    "resolve_shard_count",
+    "run_sharded",
+    "run_sharded_summary",
+    "shard_viability",
+    "sharded_config",
     # typed summaries
     "ClusterSummary",
     "LatencyHistogram",

@@ -1,0 +1,29 @@
+"""Sharded parallel execution of one experiment (conservative PDES).
+
+The cluster is partitioned into logical processes — each worker owns a
+contiguous range of MDS nodes plus the clients homed on them — and the
+partitions run on private event kernels in forked processes, synchronized
+by a conservative time-stepped protocol whose lookahead is the network
+hop latency.  Results are bit-identical to the serial run for the
+experiment class :func:`shard_viability` admits (enforced by the
+``tests/shard`` equivalence suite).
+"""
+
+from .coordinator import merge_partials, run_sharded, run_sharded_summary
+from .plan import ShardPlan, compute_plan
+from .runtime import ShardContext, ShardPartial, ShardTransport
+from .viability import ShardingUnsupported, shard_viability, sharded_config
+
+__all__ = [
+    "ShardContext",
+    "ShardPartial",
+    "ShardPlan",
+    "ShardTransport",
+    "ShardingUnsupported",
+    "compute_plan",
+    "merge_partials",
+    "run_sharded",
+    "run_sharded_summary",
+    "shard_viability",
+    "sharded_config",
+]

@@ -1,0 +1,216 @@
+"""The barrier coordinator: fork workers, step windows, merge summaries.
+
+Conservative time-stepped protocol with lookahead ``L = net_hop_s``:
+
+1. every worker simulates its strict window ``[B, B+L)`` and drains its
+   outbound cross-shard messages;
+2. the coordinator routes each drained message (already timestamped with
+   its arrival) to the destination shard's inbox;
+3. the barrier advances.  Any message sent inside ``[B, B+L)`` arrives in
+   ``[B+L, B+2L)`` — inside the *next* window — so it is always injected
+   before the window containing its arrival runs.
+
+The final ``finish`` round runs the inclusive instant ``t == end`` that
+the strict windows exclude, matching ``Environment.run(until=end)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+from typing import Dict, List, Optional
+
+from ..experiments.config import ExperimentConfig
+from ..experiments.summary import ClusterSummary
+from ..metrics import LatencyHistogram
+from .runtime import ShardPartial, _shard_worker_main
+from .viability import ShardingUnsupported, shard_viability
+
+
+def run_sharded_summary(config: ExperimentConfig,
+                        n_shards: int) -> ClusterSummary:
+    """Run ``config`` split ``n_shards`` ways; merged, serial-identical
+    summary.  Raises :class:`ShardingUnsupported` on non-viable configs."""
+    reason = shard_viability(config, n_shards)
+    if reason is not None:
+        raise ShardingUnsupported(reason)
+    partials = _run_workers(config, n_shards)
+    return merge_partials(config, partials)
+
+
+def run_sharded(config: ExperimentConfig, n_shards: int):
+    """Sharded counterpart of :func:`repro.experiments.run_steady_state`."""
+    from ..experiments.runner import _result_from_summary
+
+    return _result_from_summary(config,
+                                run_sharded_summary(config, n_shards))
+
+
+def _run_workers(config: ExperimentConfig,
+                 n_shards: int) -> List[ShardPartial]:
+    ctx = multiprocessing.get_context("fork")
+    conns = []
+    procs = []
+    try:
+        for shard_id in range(n_shards):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker_main,
+                args=(child_conn, config, shard_id, n_shards),
+                daemon=True)
+            proc.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            procs.append(proc)
+        return _drive(config, n_shards, conns)
+    finally:
+        for conn in conns:
+            conn.close()
+        for proc in procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - cleanup path
+                proc.terminate()
+                proc.join(timeout=5)
+
+
+def _drive(config: ExperimentConfig, n_shards: int,
+           conns) -> List[ShardPartial]:
+    lookahead = config.params.net_hop_s
+    end = config.run_until_s
+    inboxes: Dict[int, list] = {s: [] for s in range(n_shards)}
+    barrier = 0.0
+    while barrier < end:
+        target = min(barrier + lookahead, end)
+        if not target > barrier:  # pragma: no cover - fp-underflow guard
+            raise RuntimeError(
+                f"barrier stalled at {barrier!r} (lookahead {lookahead!r})")
+        _exchange(conns, ("step", target, None), inboxes)
+        barrier = target
+    # the strict windows stopped just short of t == end; run that last
+    # inclusive instant everywhere (messages it emits would arrive past
+    # the end of the run, as they would in the serial run — discarded)
+    partials: List[Optional[ShardPartial]] = [None] * n_shards
+    for shard_id, conn in enumerate(conns):
+        conn.send(("finish", end, sorted(inboxes[shard_id])))
+    for shard_id, conn in enumerate(conns):
+        msg = conn.recv()
+        if msg[0] == "error":
+            raise RuntimeError(f"shard {shard_id} failed:\n{msg[1]}")
+        assert msg[0] == "done"
+        partials[shard_id] = msg[1]
+    return partials  # type: ignore[return-value]
+
+
+def _exchange(conns, message, inboxes: Dict[int, list]) -> None:
+    """One barrier round: deliver inboxes, run the window, collect drains."""
+    kind, target, _ = message
+    for shard_id, conn in enumerate(conns):
+        batch = sorted(inboxes[shard_id])
+        inboxes[shard_id] = []
+        conn.send((kind, target, batch))
+    for src_shard, conn in enumerate(conns):
+        msg = conn.recv()
+        if msg[0] == "error":
+            raise RuntimeError(f"shard {src_shard} failed:\n{msg[1]}")
+        assert msg[0] == "out"
+        for dst_shard, arrival, seq, payload in msg[1]:
+            inboxes[dst_shard].append((arrival, src_shard, seq, payload))
+
+
+def merge_partials(config: ExperimentConfig,
+                   partials: List[ShardPartial]) -> ClusterSummary:
+    """Fold per-shard partials into the summary the serial run produces.
+
+    Every reduction replays the serial arithmetic in the serial order:
+    node vectors in node-id order, client means in client-id order, and
+    latency histograms by re-recording the globally time-ordered sample
+    stream (float accumulation is order-sensitive).
+    """
+    n_mds = config.n_mds
+    window = config.measure_window
+    nodes: Dict[int, tuple] = {}
+    clients: Dict[int, tuple] = {}
+    for p in partials:
+        nodes.update(p.nodes)
+        clients.update(p.clients)
+    if len(nodes) != n_mds:
+        raise RuntimeError(
+            f"merge covers {len(nodes)}/{n_mds} nodes; partials overlap "
+            "or a shard went missing")
+
+    node_rows = [nodes[i] for i in range(n_mds)]
+    rates = [row[0] for row in node_rows]
+    served = sum(row[1] for row in node_rows)
+    forwards = sum(row[2] for row in node_rows)
+    drops = sum(row[3] for row in node_rows)
+    hits = sum(row[4] for row in node_rows)
+    lookups = sum(row[4] + row[5] for row in node_rows)
+    fracs = [row[6] for row in node_rows]
+
+    client_rows = [clients[i] for i in sorted(clients)]
+    ops = sum(row[0] for row in client_rows)
+    errors = sum(row[1] for row in client_rows)
+    lat = [row[2] for row in client_rows if row[0]]
+
+    overall, by_op = _merge_latency(partials)
+    forwarded_total = served + forwards
+    return ClusterSummary(
+        n_mds=n_mds,
+        window=window,
+        total_ops=ops,
+        total_served=served,
+        total_forwards=forwards,
+        errors=errors,
+        throughput_ops_per_s=sum(rates) / len(rates),
+        node_throughputs=rates,
+        hit_rate=hits / lookups if lookups else 0.0,
+        forward_fraction=forwards / forwarded_total if forwarded_total
+        else 0.0,
+        prefix_fraction=sum(fracs) / len(fracs),
+        mean_latency_s=sum(lat) / len(lat) if lat else 0.0,
+        latency=overall,
+        latency_by_op=by_op,
+        total_metadata=(partials[0].snapshot_len
+                        + sum(p.ns_len - p.snapshot_len for p in partials)),
+        kernel=_merge_kernel(partials),
+        offered_ops=0,
+        dropped_ops=drops,
+        slo_violations=0,
+        goodput_ops_per_s=0.0,
+        proxy=None,
+    )
+
+
+def _merge_latency(partials: List[ShardPartial]):
+    """Replay all shards' samples in global time order into fresh
+    histograms — bit-identical to the serial tracer's accumulation."""
+    streams = [
+        [(t, p.shard_id, idx, name, latency)
+         for idx, (t, name, latency) in enumerate(p.samples)]
+        for p in partials]
+    overall = LatencyHistogram()
+    by_op_hists: Dict[str, LatencyHistogram] = {}
+    for _t, _shard, _idx, name, latency in heapq.merge(*streams):
+        hist = by_op_hists.get(name)
+        if hist is None:
+            hist = by_op_hists[name] = LatencyHistogram()
+        hist.record(latency)
+        overall.record(latency)
+    by_op = {name: hist.summary()
+             for name, hist in sorted(by_op_hists.items())}
+    return overall.summary(), by_op
+
+
+def _merge_kernel(partials: List[ShardPartial]) -> Dict[str, float]:
+    merged: Dict[str, float] = dict(partials[0].kernel)
+    for p in partials[1:]:
+        for key, value in p.kernel.items():
+            if key in ("fastlane", "pool_reuse_rate"):
+                continue
+            merged[key] = merged.get(key, 0) + value
+    pooled = merged.get("pool_hits", 0) + merged.get("pool_allocs", 0)
+    merged["pool_reuse_rate"] = (merged.get("pool_hits", 0) / pooled
+                                 if pooled else 0.0)
+    merged["messages_crossing_shards"] = sum(p.messages_sent
+                                             for p in partials)
+    return merged

@@ -1,0 +1,64 @@
+"""Partitioning plan: which shard owns which MDS nodes and clients.
+
+A plan splits the cluster's node ids into ``n_shards`` contiguous ranges
+(logical processes in PDES terms) and homes every client on the shard that
+owns the authority of its user root.  With ``StaticSubtree`` partitioning
+the mapping from user root to authority is fixed for the whole run, so the
+plan is computable up front and identical on every worker.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Static ownership map for one sharded run."""
+
+    n_shards: int
+    n_mds: int
+    #: ``bounds[s] .. bounds[s+1]-1`` are the node ids owned by shard ``s``
+    bounds: Tuple[int, ...]
+    #: node id -> owning shard
+    shard_of_node: Tuple[int, ...]
+    #: client id -> owning shard (the shard of its home root's authority)
+    client_shards: Tuple[int, ...]
+
+    def nodes_of(self, shard_id: int) -> range:
+        return range(self.bounds[shard_id], self.bounds[shard_id + 1])
+
+    def clients_of(self, shard_id: int) -> Tuple[int, ...]:
+        return tuple(i for i, s in enumerate(self.client_shards)
+                     if s == shard_id)
+
+
+def _node_bounds(n_mds: int, n_shards: int) -> Tuple[int, ...]:
+    return tuple(s * n_mds // n_shards for s in range(n_shards + 1))
+
+
+def compute_plan(config, ns, strategy, user_roots: Sequence,
+                 n_shards: int) -> ShardPlan:
+    """Build the ownership plan for ``config`` split ``n_shards`` ways.
+
+    Deterministic in all inputs: every worker (and the coordinator) computes
+    the same plan from its own copy of the namespace snapshot.
+    """
+    n_mds = config.n_mds
+    if not 2 <= n_shards <= n_mds:
+        raise ValueError(
+            f"n_shards={n_shards} must be in [2, n_mds={n_mds}]")
+    bounds = _node_bounds(n_mds, n_shards)
+    shard_of_node = tuple(
+        bisect.bisect_right(bounds, node) - 1 for node in range(n_mds))
+    home_shards = [
+        shard_of_node[strategy.authority_of_ino(ns.resolve(root).ino)]
+        for root in user_roots]
+    n_users = len(home_shards)
+    client_shards = tuple(
+        home_shards[i % n_users] for i in range(config.n_clients))
+    return ShardPlan(n_shards=n_shards, n_mds=n_mds, bounds=bounds,
+                     shard_of_node=shard_of_node,
+                     client_shards=client_shards)

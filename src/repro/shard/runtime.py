@@ -1,0 +1,408 @@
+"""Per-shard runtime: the transport seam, worker loop and result capture.
+
+One worker process owns one :class:`~repro.shard.plan.ShardPlan` range of
+MDS nodes plus the clients homed on them, runs them on a private
+:class:`~repro.sim.engine.Environment`, and exchanges timestamped messages
+with its peers through :class:`ShardTransport`.  The transport plugs into
+the seams :class:`~repro.mds.cluster.MdsCluster` and
+:class:`~repro.mds.node.MdsNode` expose (``deliver_later`` /
+``_send_reply`` / ``_fetch_from_peer`` / eviction + coherence
+notifications); every local interaction keeps the exact serial code path.
+
+Conservative synchronization: every cross-shard message takes one network
+hop (``net_hop_s``), so a message sent inside the window ``[B, B+L)``
+arrives no earlier than ``B+L`` — the coordinator can safely let every
+shard simulate a full lookahead window before exchanging.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..mds.messages import MdsReply, MdsRequest
+from ..obs import RingBufferSink, Tracer
+from ..obs.tracer import _op_name
+from ..sim import Environment
+from .plan import ShardPlan, compute_plan
+
+#: wire tags (first element of every cross-shard payload tuple)
+REQ = "req"
+REPLY = "reply"
+FETCH = "fetch"
+FETCH_REPLY = "fetchreply"
+INVALIDATE = "inval"
+UNREGISTER = "unreg"
+
+
+@dataclass
+class ShardPartial:
+    """Everything a worker ships back for summary merging (picklable)."""
+
+    shard_id: int
+    #: node id -> (throughput, ops_served, forwards, drops, cache_hits,
+    #:             cache_misses, prefix_fraction) — owned nodes only
+    nodes: Dict[int, Tuple[float, int, int, int, int, int, float]]
+    #: client id -> (ops_completed, errors, mean_latency_s)
+    clients: Dict[int, Tuple[int, int, float]]
+    #: ordered latency samples (sim_time, op_name, latency_s)
+    samples: List[Tuple[float, str, float]]
+    ns_len: int
+    snapshot_len: int
+    kernel: Dict[str, float] = field(default_factory=dict)
+    messages_sent: int = 0
+    messages_received: int = 0
+
+
+class _SamplingTracer(Tracer):
+    """A tracer that additionally journals latency samples with timestamps.
+
+    Histograms accumulate floating-point sums in record order, so merging
+    per-shard histograms directly would not reproduce the serial bits.
+    Instead each shard journals ``(sim_time, op, latency)`` and the merge
+    replays the globally time-ordered stream into fresh histograms.
+    """
+
+    def __init__(self, env: Environment, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._env = env
+        self.samples: List[Tuple[float, str, float]] = []
+
+    def record_latency(self, op, seconds: float) -> None:
+        self.samples.append((self._env._now, _op_name(op), seconds))
+        super().record_latency(op, seconds)
+
+
+class ShardTransport:
+    """Cross-shard messaging for one worker.
+
+    Outbound messages are buffered (``drain`` hands them to the
+    coordinator at each barrier); inbound payloads are injected onto the
+    local calendar at their precomputed arrival times, mirroring the
+    event the serial run would have scheduled.
+    """
+
+    def __init__(self, env: Environment, shard_id: int, plan: ShardPlan,
+                 cluster, net_hop_s: float) -> None:
+        self.env = env
+        self.shard_id = shard_id
+        self.plan = plan
+        self.cluster = cluster
+        self.net_hop_s = net_hop_s
+        self._out: List[Tuple[int, float, int, tuple]] = []
+        self._seq = 0
+        #: completion events (and fetch waiters) keyed by origin key
+        self._pending: Dict[int, Any] = {}
+        self._next_key = 0
+        self.sent = 0
+        self.received = 0
+
+    # -- identity ------------------------------------------------------
+    def owns(self, node_id: int) -> bool:
+        return self.plan.shard_of_node[node_id] == self.shard_id
+
+    # -- outbound ------------------------------------------------------
+    def drain(self) -> List[Tuple[int, float, int, tuple]]:
+        out, self._out = self._out, []
+        return out
+
+    def _enqueue(self, dst_shard: int, arrival: float,
+                 payload: tuple) -> None:
+        self._seq += 1
+        self.sent += 1
+        self._out.append((dst_shard, arrival, self._seq, payload))
+
+    def _new_key(self) -> int:
+        self._next_key += 1
+        return self._next_key
+
+    def send_request(self, node_id: int, request: MdsRequest) -> None:
+        """Divert from ``deliver_later``: the destination is foreign."""
+        if request.origin_shard is None:
+            # first boundary crossing: park the completion event locally
+            # and tag the request so the eventual reply finds its way home
+            key = self._new_key()
+            request.origin_shard = self.shard_id
+            request.origin_key = key
+            self._pending[key] = request.done
+        arrival = self.env._now + self.net_hop_s
+        self._enqueue(
+            self.plan.shard_of_node[node_id], arrival,
+            (REQ, node_id, arrival, request.origin_shard,
+             request.origin_key,
+             (request.op, request.path, request.client_id, request.uid,
+              request.dst_path, request.mode, request.size, request.ino,
+              request.submitted_at, request.hops, request.dir_hint)))
+
+    def send_reply(self, request: MdsRequest, reply: MdsReply) -> None:
+        """Divert from ``_send_reply``: the requester lives elsewhere."""
+        arrival = self.env._now + self.net_hop_s
+        self._enqueue(
+            request.origin_shard, arrival,
+            (REPLY, request.origin_key, arrival,
+             (reply.ok, reply.served_by, reply.op, reply.path, reply.error,
+              reply.target_ino, dict(reply.locations), reply.forwarded,
+              reply.latency_s)))
+
+    def fetch_from_peer(self, node, inode, authority: int,
+                        trace) -> Generator:
+        """Replica fetch whose authority lives on another shard.
+
+        Same observable timeline as the serial ``_fetch_from_peer``: one
+        hop out, the authority's cache/disk work, one hop back.
+        """
+        env = self.env
+        t0 = env._now
+        key = self._new_key()
+        pending = env.event()
+        self._pending[key] = pending
+        self._enqueue(
+            self.plan.shard_of_node[authority], t0 + self.net_hop_s,
+            (FETCH, authority, node.node_id, self.shard_id, key, inode.ino,
+             t0 + self.net_hop_s))
+        peer_missed = yield pending
+        if trace is not None:
+            trace.add("peer.fetch", t0, env._now, node=node.node_id,
+                      detail=f"from={authority}"
+                             + (" peer-miss" if peer_missed else ""))
+        node._insert(inode, replica=True)
+        node.stats.remote_fetches += 1
+
+    def send_unregister(self, authority: int, ino: int,
+                        holder_node_id: int) -> None:
+        """Divert from ``_notify_evictions``: the authority is foreign.
+
+        Applied immediately on injection — registry shrinkage can only
+        suppress a future invalidation hop to a replica already gone, and
+        in the shardable class replicas of mutable inodes never cross
+        shard boundaries, so timing slack here is unobservable.
+        """
+        self._enqueue(self.plan.shard_of_node[authority], self.env._now,
+                      (UNREGISTER, authority, ino, holder_node_id))
+
+    def send_invalidations(self, sorted_foreign_holders, ino: int) -> None:
+        """Divert from ``_invalidate_replicas`` for foreign holders."""
+        arrival = self.env._now + self.net_hop_s
+        for holder in sorted_foreign_holders:
+            self._enqueue(self.plan.shard_of_node[holder], arrival,
+                          (INVALIDATE, holder, ino, arrival))
+
+    # -- inbound -------------------------------------------------------
+    def inject(self, payload: tuple) -> None:
+        self.received += 1
+        kind = payload[0]
+        if kind == REQ:
+            self._inject_request(payload)
+        elif kind == REPLY:
+            self._inject_reply(payload)
+        elif kind == FETCH:
+            self._inject_fetch(payload)
+        elif kind == FETCH_REPLY:
+            self._inject_fetch_reply(payload)
+        elif kind == INVALIDATE:
+            self._inject_invalidate(payload)
+        elif kind == UNREGISTER:
+            _tag, authority, ino, holder = payload
+            self.cluster.nodes[authority].replicas.unregister(ino, holder)
+        else:
+            raise RuntimeError(f"unknown shard payload {kind!r}")
+
+    def _carrier(self, value, arrival: float):
+        """A pre-settled event at ``arrival`` — the injected twin of the
+        ``env.timeout(hop, value)`` the serial sender would have used."""
+        env = self.env
+        carrier = env.event()
+        carrier._triggered = True
+        carrier._ok = True
+        carrier._value = value
+        env.schedule_at(carrier, arrival)
+        return carrier
+
+    def _inject_request(self, payload: tuple) -> None:
+        (_tag, dst_node, arrival, origin_shard, origin_key,
+         (op, path, client_id, uid, dst_path, mode, size, ino,
+          submitted_at, hops, dir_hint)) = payload
+        request = MdsRequest(op=op, path=path, client_id=client_id,
+                             uid=uid, dst_path=dst_path, mode=mode,
+                             size=size, ino=ino, dir_hint=dir_hint)
+        request.submitted_at = submitted_at
+        request.hops = hops
+        request.enqueued_at = arrival
+        if origin_shard == self.shard_id:
+            # forwarded back home: reattach the parked completion event and
+            # drop the tag — replies now take the local path again
+            request.done = self._pending.pop(origin_key)
+        else:
+            request.origin_shard = origin_shard
+            request.origin_key = origin_key
+        carrier = self._carrier(request, arrival)
+        carrier.callbacks.append(
+            self.cluster.nodes[dst_node].inbox._put_from_event)
+
+    def _inject_reply(self, payload: tuple) -> None:
+        (_tag, key, arrival,
+         (ok, served_by, op, path, error, target_ino, locations,
+          forwarded, latency_s)) = payload
+        done = self._pending.pop(key)
+        reply = MdsReply(ok=ok, served_by=served_by, op=op, path=path,
+                         error=error, target_ino=target_ino,
+                         locations=locations, forwarded=forwarded,
+                         latency_s=latency_s)
+        self._settle(done, reply, arrival)
+
+    def _settle(self, done, value, arrival: float) -> None:
+        """Trigger ``done`` with ``value`` at ``arrival`` — the injected
+        twin of the serial ``_send_reply`` delivery."""
+        env = self.env
+        if env.fastlane:
+            done._triggered = True
+            done._ok = True
+            done._value = value
+            env.schedule_at(done, arrival)
+        else:
+            carrier = env.event()
+            carrier._triggered = True
+            carrier._ok = True
+            carrier._value = None
+            env.schedule_at(carrier, arrival)
+            carrier.callbacks.append(
+                lambda _ev, d=done, v=value: d.succeed(v))
+
+    def _inject_fetch(self, payload: tuple) -> None:
+        _tag, authority, requester_node, src_shard, key, ino, arrival = \
+            payload
+        carrier = self._carrier(None, arrival)
+        carrier.callbacks.append(
+            lambda _ev: self.env.process(self._serve_fetch(
+                authority, requester_node, src_shard, key, ino)))
+
+    def _serve_fetch(self, authority: int, requester_node: int,
+                     src_shard: int, key: int, ino: int) -> Generator:
+        """Authority-side half of a cross-shard replica fetch.
+
+        Mirrors the peer-side work of the serial ``_fetch_from_peer``; the
+        requester side resumes from the FETCH_REPLY one hop after this
+        completes, exactly one RTT (plus any disk time) after it asked.
+        """
+        peer = self.cluster.nodes[authority]
+        inode = self.cluster.ns.inode(ino)
+        if ino not in peer.cache:
+            peer.stats.record_miss()
+            peer_missed = True
+            yield from peer._fetch_from_disk(inode)
+        else:
+            peer.cache.get(ino)  # refresh recency at the authority
+            peer_missed = False
+        peer.replicas.register(ino, requester_node)
+        self._enqueue(src_shard, self.env._now + self.net_hop_s,
+                      (FETCH_REPLY, key, self.env._now + self.net_hop_s,
+                       peer_missed))
+
+    def _inject_fetch_reply(self, payload: tuple) -> None:
+        _tag, key, arrival, peer_missed = payload
+        self._settle(self._pending.pop(key), peer_missed, arrival)
+
+    def _inject_invalidate(self, payload: tuple) -> None:
+        _tag, holder, ino, arrival = payload
+        carrier = self._carrier(None, arrival)
+        carrier.callbacks.append(
+            lambda _ev, h=holder, i=ino: self._apply_invalidate(h, i))
+
+    def _apply_invalidate(self, holder: int, ino: int) -> None:
+        peer = self.cluster.nodes[holder]
+        entry = peer.cache.get(ino, touch=False)
+        if entry is not None and entry.replica and not entry.pinned:
+            peer.cache.remove(ino)
+
+
+class ShardContext:
+    """What :func:`repro.experiments._build.build_simulation` needs to
+    build the shard-local slice of an experiment."""
+
+    def __init__(self, shard_id: int, n_shards: int) -> None:
+        self.shard_id = shard_id
+        self.n_shards = n_shards
+        self.plan: Optional[ShardPlan] = None
+        self.transport: Optional[ShardTransport] = None
+
+    def make_tracer(self, env: Environment, config) -> _SamplingTracer:
+        return _SamplingTracer(env,
+                               sample_rate=config.trace_sample_rate,
+                               sink=RingBufferSink(config.trace_buffer),
+                               seed=config.seed)
+
+    def bind(self, cluster, snapshot, config) -> None:
+        """Compute the plan and splice the transport into the cluster
+        (called between cluster construction and ``start()``)."""
+        self.plan = compute_plan(config, cluster.ns, cluster.strategy,
+                                 snapshot.user_roots, self.n_shards)
+        self.transport = ShardTransport(cluster.env, self.shard_id,
+                                        self.plan, cluster,
+                                        cluster.params.net_hop_s)
+        cluster.attach_transport(self.transport)
+
+    def owns_client(self, client_id: int) -> bool:
+        return self.plan.client_shards[client_id] == self.shard_id
+
+
+def _collect_partial(sim, ctx: ShardContext,
+                     snapshot_len: int) -> ShardPartial:
+    plan = ctx.plan
+    t0, t1 = sim.config.measure_window
+    nodes = {}
+    for node_id in plan.nodes_of(ctx.shard_id):
+        node = sim.cluster.nodes[node_id]
+        s = node.stats
+        nodes[node_id] = (s.throughput(t0, t1), s.ops_served, s.forwards,
+                          s.drops, s.cache_hits, s.cache_misses,
+                          node.cache.prefix_fraction())
+    clients = {c.client_id: (c.stats.ops_completed, c.stats.errors,
+                             c.stats.mean_latency_s)
+               for c in sim.clients}
+    return ShardPartial(shard_id=ctx.shard_id, nodes=nodes,
+                        clients=clients, samples=sim.tracer.samples,
+                        ns_len=len(sim.ns), snapshot_len=snapshot_len,
+                        kernel=sim.env.kernel_stats(),
+                        messages_sent=ctx.transport.sent,
+                        messages_received=ctx.transport.received)
+
+
+def _shard_worker_main(conn, config, shard_id: int,
+                       n_shards: int) -> None:
+    """Worker-process entry point: build the shard slice, then serve the
+    coordinator's barrier protocol until the ``finish`` message."""
+    try:
+        from ..experiments._build import build_simulation
+
+        ctx = ShardContext(shard_id, n_shards)
+        sim = build_simulation(config, shard=ctx)
+        env = sim.env
+        transport = ctx.transport
+        snapshot_len = len(sim.ns)
+        while True:
+            msg = conn.recv()
+            kind = msg[0]
+            if kind == "step":
+                target, inbox = msg[1], msg[2]
+                for _arrival, _src, _seq, payload in inbox:
+                    transport.inject(payload)
+                env.run_window(target)
+                conn.send(("out", transport.drain()))
+            elif kind == "finish":
+                end, inbox = msg[1], msg[2]
+                for _arrival, _src, _seq, payload in inbox:
+                    transport.inject(payload)
+                env.run(until=end)
+                conn.send(("done", _collect_partial(sim, ctx, snapshot_len),
+                           transport.drain()))
+                return
+            else:
+                raise RuntimeError(f"unknown coordinator message {kind!r}")
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        conn.close()

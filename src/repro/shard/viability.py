@@ -1,0 +1,92 @@
+"""Is this experiment safely shardable?  One predicate, one reason string.
+
+Sharding is bit-identical to the serial run only for a well-understood
+class of experiments (static partitioning, closed-loop clients homed on
+their own shard, no proxy tier, no admission control, no span sampling).
+Anything outside that class falls back to the serial path — silently in
+:func:`repro.experiments.runner.run_steady_state`, loudly (via
+:class:`ShardingUnsupported`) when sharding is requested directly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Optional
+
+from ..mds import SimParams
+from ..experiments.config import ExperimentConfig
+from ..experiments.workload import ClosedLoopSpec
+
+
+class ShardingUnsupported(RuntimeError):
+    """Raised when a sharded run is requested for a non-viable config."""
+
+
+#: Workload kinds whose clients only ever touch their own user subtree and
+#: the (read-only past warmup, never mutated) shared tree — the property
+#: that keeps cross-shard traffic down to snapshot-path reads.
+_VIABLE_KINDS = frozenset({"general", "scaling"})
+
+
+def shard_viability(config: ExperimentConfig,
+                    n_shards: int) -> Optional[str]:
+    """``None`` when ``config`` may be sharded ``n_shards`` ways,
+    else a short human-readable reason it may not."""
+    if n_shards < 2:
+        return f"n_shards={n_shards} < 2"
+    if n_shards > config.n_mds:
+        return f"n_shards={n_shards} exceeds n_mds={config.n_mds}"
+    if config.strategy != "StaticSubtree":
+        return (f"strategy {config.strategy!r} migrates authority at "
+                "runtime; only StaticSubtree is shardable")
+    spec = config.workload_spec()
+    if not isinstance(spec, ClosedLoopSpec):
+        return "only closed-loop workloads are shardable"
+    if spec.kind not in _VIABLE_KINDS:
+        return (f"workload kind {spec.kind!r} is not in the shardable "
+                f"class {sorted(_VIABLE_KINDS)}")
+    if config.proxy is not None:
+        return "proxy tier routes across shard boundaries"
+    if config.trace_sample_rate != 0:
+        return "span sampling draws from a global RNG stream"
+    if config.params.inbox_capacity is not None:
+        return "bounded inboxes (admission control) are not shardable"
+    if not config.params.shard_affinity:
+        return "params.shard_affinity must be enabled (partition-affine " \
+               "ino allocation and OSD placement)"
+    if config.params.net_hop_s <= 0:
+        return "net_hop_s must be positive (it is the lookahead window)"
+    if config.n_clients > config.n_users:
+        return (f"n_clients={config.n_clients} > n_users={config.n_users}: "
+                "clients sharing a home root contend across shards")
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return "platform lacks fork start method"
+    return None
+
+
+def sharded_config(n_mds: int = 8, scale: float = 1.0, *,
+                   seed: int = 42,
+                   net_hop_s: float = 0.001,
+                   users_per_mds: int = 8,
+                   clients_per_mds: int = 8,
+                   files_per_user: int = 40,
+                   shared_tree_files: int = 100,
+                   think_time_s: float = 0.006,
+                   warmup_s: float = 2.0,
+                   duration_s: float = 4.0,
+                   workload: str = "general",
+                   **params_kw) -> ExperimentConfig:
+    """A ready-to-shard :class:`ExperimentConfig` (also runs serially).
+
+    Keeps ``users_per_mds == clients_per_mds`` by default so every client
+    owns its home root exclusively — the no-cross-shard-contention
+    requirement of :func:`shard_viability`.
+    """
+    params = SimParams(net_hop_s=net_hop_s, shard_affinity=True,
+                       **params_kw)
+    return ExperimentConfig(
+        strategy="StaticSubtree", n_mds=n_mds, seed=seed,
+        users_per_mds=users_per_mds, clients_per_mds=clients_per_mds,
+        files_per_user=files_per_user, shared_tree_files=shared_tree_files,
+        think_time_s=think_time_s, warmup_s=warmup_s, duration_s=duration_s,
+        workload=workload, params=params, scale=scale)

@@ -1,0 +1,163 @@
+"""Sharded execution must be invisible to results.
+
+The repro.shard equivalence contract, in the style of the fast-lane and
+serial/parallel suites: a fixed-seed experiment run sharded across forked
+processes produces a summary whose ``repr`` is byte-identical to the
+serial run's — in both fast-lane modes, for any viable shard count.
+"""
+
+import os
+
+import pytest
+
+from repro._fastpath import FASTPATH_ENV
+from repro.api import (SHARDS_ENV, ShardingUnsupported, build_simulation,
+                       run_sharded_summary, run_steady_state,
+                       shard_viability, sharded_config)
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in __import__("multiprocessing").get_all_start_methods(),
+    reason="sharding requires the fork start method")
+
+
+def small_config(**kw):
+    """A shardable config sized for CI: ~300 barrier rounds, 4 nodes."""
+    defaults = dict(n_mds=4, scale=1.0, users_per_mds=8, clients_per_mds=8,
+                    files_per_user=10, shared_tree_files=40,
+                    warmup_s=0.25, duration_s=0.5, net_hop_s=0.0025)
+    defaults.update(kw)
+    return sharded_config(**defaults)
+
+
+def serial_summary(cfg):
+    sim = build_simulation(cfg)
+    t0, t1 = cfg.measure_window
+    sim.run_to(t1)
+    return sim.summary(window=(t0, t1))
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("n_shards", [2, 3])
+    def test_sharded_summary_bit_identical(self, monkeypatch, n_shards):
+        monkeypatch.delenv(SHARDS_ENV, raising=False)
+        cfg = small_config()
+        serial = serial_summary(cfg)
+        merged = run_sharded_summary(cfg, n_shards)
+        assert repr(serial) == repr(merged)
+        # fields excluded from repr (overload accounting) must match too
+        assert serial == merged
+
+    def test_bit_identical_with_fastpath_off(self, monkeypatch):
+        monkeypatch.setenv(FASTPATH_ENV, "0")
+        cfg = small_config()
+        serial = serial_summary(cfg)
+        merged = run_sharded_summary(cfg, 2)
+        assert repr(serial) == repr(merged)
+
+    def test_sharded_run_does_real_cross_shard_work(self):
+        cfg = small_config()
+        merged = run_sharded_summary(cfg, 2)
+        assert merged.total_ops > 0
+        # shared-tree reads force replica fetches across the boundary —
+        # the equivalence above is not vacuous isolation
+        assert merged.kernel["messages_crossing_shards"] > 0
+
+    def test_steady_state_env_gate(self, monkeypatch):
+        cfg = small_config()
+        monkeypatch.delenv(SHARDS_ENV, raising=False)
+        serial = run_steady_state(cfg)
+        monkeypatch.setenv(SHARDS_ENV, "2")
+        sharded = run_steady_state(cfg)
+        assert sharded == serial
+
+    def test_steady_state_gate_falls_back_when_nonviable(self, monkeypatch):
+        # a DynamicSubtree config is outside the shardable class: the
+        # gate must silently take the serial path, not raise
+        cfg = small_config().replace(strategy="DynamicSubtree")
+        monkeypatch.setenv(SHARDS_ENV, "2")
+        gated = run_steady_state(cfg)
+        monkeypatch.delenv(SHARDS_ENV, raising=False)
+        assert gated == run_steady_state(cfg)
+
+
+class TestViability:
+    def test_reference_config_is_viable(self):
+        assert shard_viability(small_config(), 2) is None
+
+    @pytest.mark.parametrize("mutate,needle", [
+        (dict(strategy="DynamicSubtree"), "StaticSubtree"),
+        (dict(trace_sample_rate=0.5), "sampling"),
+        (dict(clients_per_mds=32), "clients"),
+    ])
+    def test_nonviable_reasons(self, mutate, needle):
+        cfg = small_config().replace(**mutate)
+        reason = shard_viability(cfg, 2)
+        assert reason is not None and needle in reason
+
+    def test_shard_count_bounds(self):
+        cfg = small_config()
+        assert "< 2" in shard_viability(cfg, 1)
+        assert "exceeds" in shard_viability(cfg, cfg.n_mds + 1)
+
+    def test_affinity_required(self):
+        import dataclasses
+
+        cfg = small_config()
+        params = dataclasses.replace(cfg.params, shard_affinity=False)
+        assert "affinity" in shard_viability(cfg.replace(params=params), 2)
+
+    def test_run_sharded_summary_raises_loudly(self):
+        cfg = small_config().replace(strategy="DynamicSubtree")
+        with pytest.raises(ShardingUnsupported):
+            run_sharded_summary(cfg, 2)
+
+
+class TestPlan:
+    def _plan(self, cfg, n_shards):
+        from repro.experiments._build import _make_snapshot
+        from repro.namespace import Namespace
+        from repro.partition import make_strategy
+        from repro.shard import compute_plan
+        from repro.sim import RngStreams
+
+        ns, snapshot = _make_snapshot(cfg, RngStreams(cfg.seed))
+        strategy = make_strategy(cfg.strategy, cfg.n_mds)
+        strategy.bind(ns)
+        return compute_plan(cfg, ns, strategy, snapshot.user_roots,
+                            n_shards)
+
+    @pytest.mark.parametrize("n_shards", [2, 3, 4])
+    def test_every_node_and_client_owned_once(self, n_shards):
+        cfg = small_config()
+        plan = self._plan(cfg, n_shards)
+        seen = []
+        for s in range(n_shards):
+            seen.extend(plan.nodes_of(s))
+        assert seen == list(range(cfg.n_mds))
+        assert len(plan.client_shards) == cfg.n_clients
+        assert set(plan.client_shards) <= set(range(n_shards))
+
+    def test_contiguous_node_ranges(self):
+        plan = self._plan(small_config(), 3)
+        assert list(plan.bounds) == sorted(plan.bounds)
+        for node in range(plan.n_mds):
+            s = plan.shard_of_node[node]
+            assert node in plan.nodes_of(s)
+
+    def test_clients_homed_with_their_authority(self):
+        cfg = small_config()
+        from repro.experiments._build import _make_snapshot
+        from repro.partition import make_strategy
+        from repro.sim import RngStreams
+
+        ns, snapshot = _make_snapshot(cfg, RngStreams(cfg.seed))
+        strategy = make_strategy(cfg.strategy, cfg.n_mds)
+        strategy.bind(ns)
+        from repro.shard import compute_plan
+
+        plan = compute_plan(cfg, ns, strategy, snapshot.user_roots, 2)
+        n_users = len(snapshot.user_roots)
+        for client_id, shard in enumerate(plan.client_shards):
+            root = snapshot.user_roots[client_id % n_users]
+            authority = strategy.authority_of_ino(ns.resolve(root).ino)
+            assert plan.shard_of_node[authority] == shard

@@ -31,22 +31,22 @@ Usage:
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import platform
+import sys
 import time
 import warnings
 
-from repro._fastpath import FASTPATH_ENV
-from repro.experiments._build import build_simulation
-from repro.experiments.overload import (fig_hotspot, fig_overload,
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_common  # noqa: E402  (tools-dir import)
+from bench_common import REGRESSION_TOLERANCE, load_prior_report  # noqa: E402,F401
+
+from repro._fastpath import FASTPATH_ENV  # noqa: E402
+from repro.experiments._build import build_simulation  # noqa: E402
+from repro.experiments.overload import (fig_hotspot, fig_overload,  # noqa: E402
                                         hotspot_config, overload_config)
 
 #: used only when no prior report exists at ``--out``
 FALLBACK_BASELINE_GOODPUT_OPS_S = 9500.0
-
-#: informational regression threshold against the prior recorded goodput
-REGRESSION_TOLERANCE = 0.15
 
 #: offered-load fractions for --quick runs (full runs use the figure's)
 QUICK_FRACTIONS = [0.5, 1.0, 1.6]
@@ -58,29 +58,16 @@ QUICK_FRACTIONS = [0.5, 1.0, 1.6]
 HOTSPOT_SCALE = 0.25
 
 
-def load_prior_report(path: str):
-    """Previously committed report at ``path``, or ``None``."""
-    try:
-        with open(path, "r", encoding="utf-8") as fp:
-            return json.load(fp)
-    except (OSError, ValueError):
-        return None
-
-
 def baseline_from_prior(prior) -> float:
     """The prior report's recorded peak-AC goodput (or the fallback)."""
-    if prior:
-        rate = prior.get("peak_ac_goodput_ops_per_s")
-        if rate:
-            return float(rate)
-    return FALLBACK_BASELINE_GOODPUT_OPS_S
+    return bench_common.baseline_from_prior(
+        prior, ("peak_ac_goodput_ops_per_s",),
+        FALLBACK_BASELINE_GOODPUT_OPS_S)
 
 
 def trajectory_from_prior(prior) -> list:
     """The prior report's trajectory list (empty for a fresh report)."""
-    if not prior:
-        return []
-    return list(prior.get("trajectory") or [])
+    return bench_common.trajectory_from_prior(prior)
 
 
 def equivalence_check(scale: float):
@@ -150,12 +137,10 @@ def main(argv=None) -> int:
     print(f"fast-lane equivalence (admission+proxy): {identical}")
 
     vs_baseline = peak_ac_goodput / baseline
-    regressed = peak_ac_goodput < (1.0 - REGRESSION_TOLERANCE) * baseline
-    if regressed:
-        print(f"WARNING: peak AC goodput {peak_ac_goodput:.0f} is "
-              f">{REGRESSION_TOLERANCE:.0%} below the prior recorded "
-              f"{baseline:.0f} ops/s (informational: the overload model "
-              f"changed; update expectations if deliberate)")
+    regressed = bench_common.warn_if_regressed(
+        peak_ac_goodput, baseline, what="peak AC goodput",
+        hint="ops/s; informational: the overload model changed; update "
+             "expectations if deliberate")
 
     entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -171,9 +156,7 @@ def main(argv=None) -> int:
         "quick": args.quick,
         "scale": args.scale,
         "hotspot_scale": HOTSPOT_SCALE,
-        "cpu_count": os.cpu_count() or 1,
-        "platform": platform.platform(),
-        "python": platform.python_version(),
+        **bench_common.host_fields(),
         "timestamp": entry["timestamp"],
         "wall_s": round(wall, 1),
         "baseline_peak_ac_goodput_ops_per_s": round(baseline, 1),
@@ -196,10 +179,7 @@ def main(argv=None) -> int:
         "identical_summaries_across_fastpath": identical,
         "trajectory": trajectory,
     }
-    with open(args.out, "w", encoding="utf-8") as fp:
-        json.dump(report, fp, indent=2)
-        fp.write("\n")
-    print(f"report written to {args.out}")
+    bench_common.write_report(args.out, report)
     if not identical:
         print("ERROR: fast-lane summaries diverged on the overload path")
         return 1

@@ -26,58 +26,47 @@ Usage:
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import platform
+import sys
 import time
 
-from repro._fastpath import FASTPATH_ENV
-from repro.api import run_steady_state, scaling_config
-from repro.experiments._build import build_simulation
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_common  # noqa: E402  (tools-dir import)
+from bench_common import REGRESSION_TOLERANCE, load_prior_report  # noqa: E402,F401
+
+from repro._fastpath import FASTPATH_ENV  # noqa: E402
+from repro.api import run_steady_state, scaling_config  # noqa: E402
+from repro.experiments._build import build_simulation  # noqa: E402
 
 #: single-run sim-ops/wall-s recorded at the parallel-executor PR
 #: (pre-fast-lane) — used only when no prior report exists at ``--out``.
 FALLBACK_BASELINE_SIM_OPS_PER_WALL_S = 13891.3
 
-#: informational regression threshold against the prior recorded rate
-REGRESSION_TOLERANCE = 0.15
-
-
-def load_prior_report(path: str):
-    """Previously committed report at ``path``, or ``None``."""
-    try:
-        with open(path, "r", encoding="utf-8") as fp:
-            return json.load(fp)
-    except (OSError, ValueError):
-        return None
-
 
 def baseline_from_prior(prior) -> float:
     """The prior report's recorded fast-lane rate (or the fallback)."""
-    if prior:
-        rate = prior.get("fastpath_on", {}).get("sim_ops_per_wall_s")
-        if rate:
-            return float(rate)
-    return FALLBACK_BASELINE_SIM_OPS_PER_WALL_S
+    return bench_common.baseline_from_prior(
+        prior, ("fastpath_on", "sim_ops_per_wall_s"),
+        FALLBACK_BASELINE_SIM_OPS_PER_WALL_S)
+
+
+def _seed_entry(prior) -> dict:
+    """First trajectory entry for a report predating trajectory support."""
+    return {
+        "timestamp": prior.get("timestamp"),
+        "fastpath_off_ops_per_wall_s":
+            prior.get("fastpath_off", {}).get("sim_ops_per_wall_s"),
+        "fastpath_on_ops_per_wall_s":
+            prior.get("fastpath_on", {}).get("sim_ops_per_wall_s"),
+        "speedup_on_vs_off": prior.get("speedup_on_vs_off"),
+        "quick": prior.get("quick"),
+    }
 
 
 def trajectory_from_prior(prior) -> list:
     """The prior report's trajectory, seeded from its own headline numbers
     when it predates trajectory support."""
-    if not prior:
-        return []
-    trajectory = prior.get("trajectory")
-    if trajectory is None:
-        trajectory = [{
-            "timestamp": prior.get("timestamp"),
-            "fastpath_off_ops_per_wall_s":
-                prior.get("fastpath_off", {}).get("sim_ops_per_wall_s"),
-            "fastpath_on_ops_per_wall_s":
-                prior.get("fastpath_on", {}).get("sim_ops_per_wall_s"),
-            "speedup_on_vs_off": prior.get("speedup_on_vs_off"),
-            "quick": prior.get("quick"),
-        }]
-    return list(trajectory)
+    return bench_common.trajectory_from_prior(prior, _seed_entry)
 
 
 def bench_mode(cfg, fastpath: bool, repeat: int):
@@ -173,12 +162,10 @@ def main(argv=None) -> int:
               f"hit rate {rate:.1%}, "
               f"{stats['invalidations']} invalidations")
 
-    regressed = on_rate < (1.0 - REGRESSION_TOLERANCE) * baseline
-    if regressed:
-        print(f"WARNING: fastpath_on rate {on_rate:.0f} is "
-              f">{REGRESSION_TOLERANCE:.0%} below the prior recorded "
-              f"{baseline:.0f} sim-ops/wall-s (informational: absolute "
-              f"rates depend on host load)")
+    regressed = bench_common.warn_if_regressed(
+        on_rate, baseline, what="fastpath_on rate",
+        hint="sim-ops/wall-s; informational: absolute rates depend on "
+             "host load")
 
     entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -194,9 +181,7 @@ def main(argv=None) -> int:
         "quick": args.quick,
         "scale": args.scale,
         "repeats": repeat,
-        "cpu_count": os.cpu_count() or 1,
-        "platform": platform.platform(),
-        "python": platform.python_version(),
+        **bench_common.host_fields(),
         "timestamp": entry["timestamp"],
         "baseline_sim_ops_per_wall_s": round(baseline, 1),
         "fastpath_off": {
@@ -218,10 +203,7 @@ def main(argv=None) -> int:
         "distribution_memo": dist_stats,
         "trajectory": trajectory,
     }
-    with open(args.out, "w", encoding="utf-8") as fp:
-        json.dump(report, fp, indent=2)
-        fp.write("\n")
-    print(f"report written to {args.out}")
+    bench_common.write_report(args.out, report)
     if not identical:
         print("ERROR: fast-lane summaries diverged from the reference path")
         return 1

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Benchmark sharded (within-experiment) execution; write ``BENCH_shards.json``.
+
+Times one shardable steady-state experiment serially, then partitioned
+across forked worker processes via :mod:`repro.shard` for each requested
+shard count, and verifies the merged summaries are **bit-identical** to
+the serial run (the hard determinism check — the tool exits non-zero on
+any divergence).
+
+On a single-CPU host the sharded timing is meaningless (workers only
+time-slice one core), so the tool records the sequential-fallback result
+instead of a speedup — but still runs one forced-shard equivalence
+check, which is CPU-count-independent.  The baseline discipline follows
+the other bench tools: read from the previously committed report,
+trajectory appended per run, >15% regressions warn but never fail.
+
+Usage:
+    PYTHONPATH=src python tools/bench_shards.py [--quick] [--out PATH]
+    PYTHONPATH=src python tools/bench_shards.py --shards 2 4 --scale 1.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_common  # noqa: E402  (tools-dir import)
+from bench_common import load_prior_report  # noqa: E402,F401
+
+from repro.api import (run_sharded_summary, shard_viability,  # noqa: E402
+                       sharded_config)
+from repro.experiments._build import build_simulation  # noqa: E402
+
+#: used only when no prior report exists at ``--out``
+FALLBACK_BASELINE_SIM_OPS_PER_WALL_S = 5000.0
+
+
+def baseline_from_prior(prior) -> float:
+    """The prior report's recorded serial rate (or the fallback)."""
+    return bench_common.baseline_from_prior(
+        prior, ("serial", "sim_ops_per_wall_s"),
+        FALLBACK_BASELINE_SIM_OPS_PER_WALL_S)
+
+
+def trajectory_from_prior(prior) -> list:
+    return bench_common.trajectory_from_prior(prior)
+
+
+def bench_config(scale: float, n_mds: int):
+    return sharded_config(n_mds=n_mds, scale=scale, seed=42,
+                          files_per_user=20, shared_tree_files=80,
+                          warmup_s=0.5, duration_s=1.5, net_hop_s=0.001)
+
+
+def time_serial(cfg, repeat: int):
+    """Best-of-``repeat`` serial wall time plus the reference summary."""
+    walls = []
+    summary = None
+    t0, t1 = cfg.measure_window
+    for _ in range(max(1, repeat)):
+        t = time.perf_counter()
+        sim = build_simulation(cfg)
+        sim.run_to(t1)
+        summary = sim.summary(window=(t0, t1))
+        walls.append(time.perf_counter() - t)
+    return summary, min(walls)
+
+
+def time_sharded(cfg, n_shards: int, repeat: int):
+    walls = []
+    summary = None
+    for _ in range(max(1, repeat)):
+        t = time.perf_counter()
+        summary = run_sharded_summary(cfg, n_shards)
+        walls.append(time.perf_counter() - t)
+    return summary, min(walls)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller run and fewer repeats for CI")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="experiment scale (default: 0.5 quick, 1.0 "
+                             "full)")
+    parser.add_argument("--n-mds", type=int, default=8)
+    parser.add_argument("--shards", type=int, nargs="+", default=None,
+                        help="shard counts to time (default: 2 and 4, "
+                             "clamped to the host's cores)")
+    parser.add_argument("--repeat", type=int, default=None,
+                        help="timing repeats (min wins; default 1 quick, "
+                             "2 full)")
+    parser.add_argument("--out", default="BENCH_shards.json")
+    args = parser.parse_args(argv)
+    scale = args.scale if args.scale is not None else \
+        (0.5 if args.quick else 1.0)
+    repeat = args.repeat if args.repeat is not None else \
+        (1 if args.quick else 2)
+    cpus = os.cpu_count() or 1
+
+    prior = load_prior_report(args.out)
+    baseline = baseline_from_prior(prior)
+    trajectory = trajectory_from_prior(prior)
+
+    cfg = bench_config(scale, args.n_mds)
+    reason = shard_viability(cfg, 2)
+    if reason is not None:
+        print(f"ERROR: bench config is not shardable: {reason}")
+        return 1
+
+    serial, serial_wall = time_serial(cfg, repeat)
+    serial_rate = serial.total_ops / serial_wall
+    print(f"serial: {serial.total_ops} ops in {serial_wall:.2f}s "
+          f"-> {serial_rate:.0f} sim-ops/wall-s ({cpus} CPUs)")
+
+    # Shard counts worth *timing*: more workers than cores only adds
+    # scheduling overhead.  Equivalence is checked regardless below.
+    multi_core = cpus > 1
+    counts = args.shards if args.shards is not None else [2, 4]
+    counts = sorted({n for n in counts if 2 <= n <= cfg.n_mds})
+    timed = {}
+    identical = True
+    if multi_core:
+        for n in (n for n in counts if n <= cpus):
+            merged, wall = time_sharded(cfg, n, repeat)
+            same = repr(merged) == repr(serial)
+            identical = identical and same
+            speedup = serial_wall / wall if wall > 0 else 0.0
+            timed[str(n)] = {
+                "wall_s": round(wall, 3),
+                "sim_ops_per_wall_s": round(merged.total_ops / wall, 1),
+                "speedup_vs_serial": round(speedup, 3),
+                "identical_summaries": same,
+            }
+            print(f"shards={n}: {wall:.2f}s -> {speedup:.2f}x vs serial, "
+                  f"identical: {same}")
+    else:
+        print("1 CPU: sharded timing skipped (workers would time-slice "
+              "one core); recording the sequential-fallback result")
+
+    # The determinism contract is host-independent: force one sharded run
+    # (at reduced size on 1-CPU hosts, where it is pure overhead) and
+    # compare bits.
+    if not timed:
+        eq_cfg = bench_config(min(scale, 0.25), 4)
+        eq_serial, _ = time_serial(eq_cfg, 1)
+        eq_merged, _ = time_sharded(eq_cfg, 2, 1)
+        identical = repr(eq_serial) == repr(eq_merged)
+        print(f"forced 2-shard equivalence (scale "
+              f"{min(scale, 0.25)}): identical: {identical}")
+
+    best_speedup = max((v["speedup_vs_serial"] for v in timed.values()),
+                       default=None)
+    regressed = bench_common.warn_if_regressed(
+        serial_rate, baseline, what="serial rate",
+        hint="sim-ops/wall-s; informational: absolute rates depend on "
+             "host load")
+
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "serial_ops_per_wall_s": round(serial_rate, 1),
+        "best_speedup_vs_serial": best_speedup,
+        "mode": "sharded" if timed else "serial-fallback",
+        "quick": args.quick,
+    }
+    trajectory.append(entry)
+
+    report = {
+        "benchmark": "sharded parallel simulation (repro.shard)",
+        "quick": args.quick,
+        "scale": scale,
+        "n_mds": cfg.n_mds,
+        "repeats": repeat,
+        **bench_common.host_fields(),
+        "timestamp": entry["timestamp"],
+        "mode": entry["mode"],
+        "baseline_sim_ops_per_wall_s": round(baseline, 1),
+        "serial": {
+            "total_ops": serial.total_ops,
+            "wall_s": round(serial_wall, 3),
+            "sim_ops_per_wall_s": round(serial_rate, 1),
+        },
+        "sharded": timed,
+        "best_speedup_vs_serial": best_speedup,
+        "regressed_vs_baseline": regressed,
+        "identical_summaries": identical,
+        "trajectory": trajectory,
+    }
+    bench_common.write_report(args.out, report)
+    if not identical:
+        print("ERROR: sharded summaries diverged from the serial run")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,14 +25,17 @@ Usage:
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import platform
+import sys
 import time
 
-from repro.api import require_ok, run_many, run_steady_state, scaling_config
-from repro.experiments.figures import _sizes_for
-from repro.partition import strategy_names
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_common  # noqa: E402  (tools-dir import)
+
+from repro.api import (require_ok, run_many, run_steady_state,  # noqa: E402
+                       scaling_config, shard_viability, sharded_config)
+from repro.experiments.figures import _sizes_for  # noqa: E402
+from repro.partition import strategy_names  # noqa: E402
 
 
 def build_configs(scale: float, seeds: int, quick: bool):
@@ -76,8 +79,18 @@ def main(argv=None) -> int:
     print(f"  serial   {serial_s:.2f}s")
     # On a single-CPU host the process pool can only add overhead (the
     # auto resolve_mode stays serial there for the same reason), so
-    # benchmarking it would just record a meaningless slowdown.
+    # benchmarking it would just record a meaningless slowdown.  The
+    # verdict is re-evaluated from the *current* host every run — a
+    # report produced on a 1-CPU box must not pin later multi-core runs
+    # to its stale conclusion.
     parallel_viable = cpus > 1
+    prior = bench_common.load_prior_report(args.out)
+    prior_viable = (prior or {}).get("sweep", {}).get("parallel_viable")
+    if prior_viable is not None and prior_viable != parallel_viable:
+        prior_cpus = (prior or {}).get("cpu_count")
+        print(f"  note: prior report recorded parallel_viable="
+              f"{prior_viable} on {prior_cpus} CPU(s); re-evaluated as "
+              f"{parallel_viable} on this {cpus}-CPU host")
     if parallel_viable:
         parallel_s, parallel_results = time_sweep(configs, "parallel")
         print(f"  parallel {parallel_s:.2f}s")
@@ -101,14 +114,23 @@ def main(argv=None) -> int:
     print(f"single run: {single.total_ops} ops in {best:.2f}s (best of "
           f"{len(walls)}) -> {single.total_ops / best:.0f} sim-ops/wall-s")
 
+    # shard-mode viability: can *within-experiment* sharding (repro.shard)
+    # win on this host, and is the reference shard config still in the
+    # shardable class?  Recorded so a report from one host does not pin
+    # another host's expectations.
+    shard_reason = shard_viability(sharded_config(n_mds=4), 2)
+    shard_mode = {
+        "multi_core": cpus > 1,
+        "config_shardable": shard_reason is None,
+        "nonviable_reason": shard_reason,
+    }
+
     report = {
         "benchmark": "parallel sweep executor + kernel hot path",
         "quick": args.quick,
         "scale": scale,
-        "cpu_count": cpus,
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        **bench_common.host_fields(),
+        "shard_mode": shard_mode,
         "sweep": {
             "n_configs": len(configs),
             "total_sim_ops": sum(r.total_ops for r in serial_results),
@@ -126,10 +148,7 @@ def main(argv=None) -> int:
         },
         "identical_results": identical,
     }
-    with open(args.out, "w", encoding="utf-8") as fp:
-        json.dump(report, fp, indent=2)
-        fp.write("\n")
-    print(f"report written to {args.out}")
+    bench_common.write_report(args.out, report)
     if not identical:
         print("ERROR: serial and parallel sweeps diverged")
         return 1

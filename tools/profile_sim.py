@@ -11,11 +11,17 @@ per-call costs) and reports min and median wall time.  ``--parallel`` /
 ``--serial`` instead drive a ``--seeds``-wide sweep through
 ``repro.parallel.run_many`` in the chosen mode, timing the whole sweep.
 
+``--shards N`` instead times the *same single experiment* partitioned N
+ways through ``repro.shard`` (a shardable StaticSubtree config replaces
+the default DynamicSubtree one, which cannot shard), so serial,
+process-pool and sharded modes are comparable from one entry point.
+
 Usage:
     python tools/profile_sim.py [--scale 0.5] [--strategy DynamicSubtree]
     python tools/profile_sim.py --sort tottime --limit 40
     python tools/profile_sim.py --repeat 5
     python tools/profile_sim.py --parallel --seeds 8 --repeat 3
+    python tools/profile_sim.py --shards 4 --repeat 3
 """
 
 from __future__ import annotations
@@ -27,7 +33,9 @@ import statistics
 import sys
 import time
 
-from repro.api import run_many, require_ok, run_steady_state, scaling_config
+from repro.api import (run_many, require_ok, run_sharded_summary,
+                       run_steady_state, scaling_config, shard_viability,
+                       sharded_config)
 
 
 def _sweep_once(configs, mode):
@@ -65,9 +73,29 @@ def main(argv=None) -> int:
                            "(process pool)")
     mode.add_argument("--serial", action="store_true",
                       help="time the same sweep forced serial in-process")
+    mode.add_argument("--shards", type=int, metavar="N",
+                      help="time one shardable experiment partitioned N "
+                           "ways via repro.shard")
     args = parser.parse_args(argv)
     if args.repeat < 1:
         parser.error("--repeat must be >= 1")
+
+    if args.shards is not None:
+        cfg = sharded_config(n_mds=max(args.n_mds, args.shards),
+                             scale=args.scale)
+        reason = shard_viability(cfg, args.shards)
+        if reason is not None:
+            parser.error(f"--shards {args.shards} not viable: {reason}")
+        walls = []
+        ops = 0
+        for i in range(args.repeat):
+            t = time.perf_counter()
+            summary = run_sharded_summary(cfg, args.shards)
+            walls.append(time.perf_counter() - t)
+            ops = summary.total_ops
+            print(f"  sharded run {i + 1}/{args.repeat}: {walls[-1]:.2f}s")
+        _report(walls, ops, f"single experiment ({args.shards} shards)")
+        return 0
 
     config = scaling_config(args.strategy, args.n_mds, args.scale)
 
