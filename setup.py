@@ -1,0 +1,26 @@
+"""Extension build hook for the optional compiled event kernel.
+
+Project metadata lives in pyproject.toml; this file only declares the
+``repro.sim._ckernel`` C extension.  The extension is **optional**: when
+no C toolchain (or no CPython headers) is available the build logs a
+warning and the wheel/editable install proceeds without it — at runtime
+``REPRO_KERNEL=compiled`` then falls back silently to the pure-python
+reference kernel (see ``repro/sim/backend.py``).
+
+Build in place for a source checkout (puts the .so next to backend.py)::
+
+    python tools/build_kernel.py          # or:
+    python setup.py build_ext --inplace
+"""
+
+from setuptools import Extension, setup
+
+setup(
+    ext_modules=[
+        Extension(
+            "repro.sim._ckernel",
+            sources=["src/repro/sim/_ckernel.c"],
+            optional=True,
+        )
+    ]
+)

@@ -59,6 +59,9 @@ from .parallel import (SweepError, TaskError, require_ok, run_many,
 from .proxy import ProxySpec, ProxyTier
 from .shard import (ShardingUnsupported, run_sharded, run_sharded_summary,
                     shard_viability, sharded_config)
+from .sim.backend import (KERNEL_ENV, backend_of, compiled_viable,
+                          kernel_info, make_environment, parse_kernel_env,
+                          resolve_kernel)
 
 
 @dataclass
@@ -134,6 +137,14 @@ __all__ = [
     "env_scale",
     "normalize_workload",
     "parse_parallel_env",
+    # kernel backend selection
+    "KERNEL_ENV",
+    "backend_of",
+    "compiled_viable",
+    "kernel_info",
+    "make_environment",
+    "parse_kernel_env",
+    "resolve_kernel",
     # one-call running
     "RunResult",
     "run_experiment",

@@ -24,7 +24,8 @@ from ..obs import RingBufferSink, Trace, Tracer
 from ..partition import make_strategy
 from ..proxy import ProxyTier
 from ..sim import Environment, RngStreams
-from .config import ExperimentConfig
+from ..sim.backend import make_environment
+from .config import ExperimentConfig, env_gates
 from .workload import ClosedLoopSpec, OpenLoopSpec, WorkloadSpec
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -153,7 +154,7 @@ def build_simulation(config: ExperimentConfig, *,
     node array (peers stay inert), but only this shard's workers and
     clients — with the shard transport spliced in before ``start()``.
     """
-    env = Environment()
+    env = make_environment(kernel=env_gates(config).kernel)
     streams = RngStreams(config.seed)
 
     ns, snapshot = _make_snapshot(config, streams)

@@ -23,6 +23,7 @@ from .._fastpath import FASTPATH_ENV, fastpath_enabled
 from ..mds import SimParams
 from ..mds.messages import OpType
 from ..proxy import ProxySpec
+from ..sim.backend import KERNEL_ENV, parse_kernel_env
 from .workload import WorkloadSpec, normalize_workload
 
 #: Experiment scale factor: multiplies namespace, population and duration.
@@ -121,6 +122,10 @@ class EnvGates:
     parallel_workers: Optional[int]
     scale: float
     shards: "Union[None, int, str]" = None
+    #: kernel backend gate (:func:`repro.sim.backend.parse_kernel_env`
+    #: semantics: ``None`` default-reference, ``"reference"``,
+    #: ``"compiled"`` or ``"auto"``)
+    kernel: Optional[str] = None
 
 
 def env_gates(config: "Optional[ExperimentConfig]" = None, *,
@@ -139,6 +144,11 @@ def env_gates(config: "Optional[ExperimentConfig]" = None, *,
       ``default_scale``.
     * ``shards`` — ``config.shards`` when set, else ``REPRO_SHARDS``
       (:func:`parse_shards_env`), else ``None`` (serial).
+    * ``kernel`` — ``config.kernel`` when set, else ``REPRO_KERNEL``
+      (:func:`repro.sim.backend.parse_kernel_env`), else ``None``
+      (reference).  ``compiled``/``auto`` still degrade silently to the
+      reference kernel when the extension is unavailable — resolution to
+      an actual backend happens in :func:`repro.sim.backend.resolve_kernel`.
     """
     parallel, workers = parse_parallel_env(os.environ.get(PARALLEL_ENV))
     if config is not None and config.parallel is not None:
@@ -147,8 +157,12 @@ def env_gates(config: "Optional[ExperimentConfig]" = None, *,
     shards = parse_shards_env(os.environ.get(SHARDS_ENV))
     if config is not None and config.shards is not None:
         shards = config.shards if config.shards >= 2 else 0
+    kernel = parse_kernel_env(os.environ.get(KERNEL_ENV))
+    if config is not None and config.kernel is not None:
+        kernel = parse_kernel_env(config.kernel)
     return EnvGates(fastpath=fastpath_enabled(), parallel=parallel,
-                    parallel_workers=workers, scale=scale, shards=shards)
+                    parallel_workers=workers, scale=scale, shards=shards,
+                    kernel=kernel)
 
 
 def resolve_shard_count(config: "ExperimentConfig") -> Optional[int]:
@@ -235,6 +249,13 @@ class ExperimentConfig:
     # sharded runs are bit-identical to serial by contract (and fall back
     # to serial when the config is outside the shardable class).
     shards: Optional[int] = None
+
+    # event-kernel backend (repro.sim.backend): None defers to the
+    # REPRO_KERNEL env gate; "reference" pins the pure-python kernel,
+    # "compiled"/"auto" prefer the C extension.  Never affects results —
+    # the compiled kernel is bit-identical to the reference by contract
+    # (and falls back to it when the extension is unavailable).
+    kernel: Optional[str] = None
 
     # -- derived ------------------------------------------------------------
     @property

@@ -205,7 +205,10 @@ def _merge_kernel(partials: List[ShardPartial]) -> Dict[str, float]:
     merged: Dict[str, float] = dict(partials[0].kernel)
     for p in partials[1:]:
         for key, value in p.kernel.items():
-            if key in ("fastlane", "pool_reuse_rate"):
+            if key in ("fastlane", "pool_reuse_rate", "kernel_backend",
+                       "compiled_viable"):
+                # mode/provenance fields: identical on every shard (same
+                # gates cross the fork), so shard 0's copy stands
                 continue
             merged[key] = merged.get(key, 0) + value
     pooled = merged.get("pool_hits", 0) + merged.get("pool_allocs", 0)

@@ -25,6 +25,7 @@ from ..mds.messages import MdsReply, MdsRequest
 from ..obs import RingBufferSink, Tracer
 from ..obs.tracer import _op_name
 from ..sim import Environment
+from ..sim.backend import kernel_info
 from .plan import ShardPlan, compute_plan
 
 #: wire tags (first element of every cross-shard payload tuple)
@@ -363,7 +364,8 @@ def _collect_partial(sim, ctx: ShardContext,
     return ShardPartial(shard_id=ctx.shard_id, nodes=nodes,
                         clients=clients, samples=sim.tracer.samples,
                         ns_len=len(sim.ns), snapshot_len=snapshot_len,
-                        kernel=sim.env.kernel_stats(),
+                        kernel={**sim.env.kernel_stats(),
+                                **kernel_info(sim.env)},
                         messages_sent=ctx.transport.sent,
                         messages_received=ctx.transport.received)
 

@@ -7,8 +7,16 @@ A small, deterministic, dependency-free simpy-like kernel:
 * :class:`Process` — generator-coroutine processes that ``yield`` events.
 * :class:`Resource` / :class:`Store` — FIFO servers and blocking buffers.
 * :class:`RngStreams` — named reproducible random streams.
+
+The calendar itself is swappable (:mod:`repro.sim.backend`): the
+pure-python reference kernel above, or a bit-identical compiled C kernel
+selected by the ``REPRO_KERNEL`` gate — :func:`make_environment` is the
+backend-aware constructor.
 """
 
+from .backend import (CompiledEnvironment, EVENT_TYPES, KERNEL_ENV,
+                      backend_of, compiled_viable, kernel_info,
+                      make_environment, parse_kernel_env, resolve_kernel)
 from .engine import Environment, Event, Timeout, NORMAL, URGENT
 from .errors import EventAlreadyTriggered, ProcessCrashed, SimulationError
 from .process import Interrupt, Process
@@ -16,10 +24,13 @@ from .resources import Request, Resource, Store
 from .rng import RngStreams, derive_seed
 
 __all__ = [
+    "CompiledEnvironment",
+    "EVENT_TYPES",
     "Environment",
     "Event",
     "EventAlreadyTriggered",
     "Interrupt",
+    "KERNEL_ENV",
     "NORMAL",
     "Process",
     "ProcessCrashed",
@@ -30,5 +41,11 @@ __all__ = [
     "Store",
     "Timeout",
     "URGENT",
+    "backend_of",
+    "compiled_viable",
     "derive_seed",
+    "kernel_info",
+    "make_environment",
+    "parse_kernel_env",
+    "resolve_kernel",
 ]

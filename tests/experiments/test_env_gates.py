@@ -6,6 +6,7 @@ from repro._fastpath import FASTPATH_ENV
 from repro.experiments import ExperimentConfig
 from repro.experiments.config import (PARALLEL_ENV, SCALE_ENV, EnvGates,
                                       env_gates, parse_parallel_env)
+from repro.sim.backend import KERNEL_ENV, parse_kernel_env, resolve_kernel
 
 
 class TestParseParallelEnv:
@@ -33,14 +34,40 @@ class TestParseParallelEnv:
             parse_parallel_env("bogus")
 
 
+class TestParseKernelEnv:
+    @pytest.mark.parametrize("raw", [None, "", "  "])
+    def test_unset_or_blank_defers_to_default(self, raw):
+        assert parse_kernel_env(raw) is None
+
+    @pytest.mark.parametrize("token,expected", [
+        ("reference", "reference"), ("REFERENCE", "reference"),
+        ("compiled", "compiled"), (" Compiled ", "compiled"),
+        ("auto", "auto"), ("AUTO", "auto"),
+    ])
+    def test_mode_tokens(self, token, expected):
+        assert parse_kernel_env(token) == expected
+
+    @pytest.mark.parametrize("token", ["bogus", "1", "fast", "c"])
+    def test_garbage_raises(self, token):
+        with pytest.raises(ValueError, match="REPRO_KERNEL"):
+            parse_kernel_env(token)
+
+    def test_resolve_defaults_to_reference(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV, raising=False)
+        assert resolve_kernel() == "reference"
+        assert resolve_kernel("reference") == "reference"
+
+
 class TestEnvGatesPrecedence:
     def test_defaults(self, monkeypatch):
         monkeypatch.delenv(PARALLEL_ENV, raising=False)
         monkeypatch.delenv(SCALE_ENV, raising=False)
         monkeypatch.delenv(FASTPATH_ENV, raising=False)
+        monkeypatch.delenv(KERNEL_ENV, raising=False)
         gates = env_gates()
         assert gates == EnvGates(fastpath=True, parallel=None,
                                  parallel_workers=None, scale=1.0)
+        assert gates.kernel is None
 
     def test_env_vars_override_defaults(self, monkeypatch):
         monkeypatch.setenv(PARALLEL_ENV, "6")
@@ -63,6 +90,20 @@ class TestEnvGatesPrecedence:
     def test_default_scale_used_without_config(self, monkeypatch):
         monkeypatch.delenv(SCALE_ENV, raising=False)
         assert env_gates(default_scale=0.3).scale == pytest.approx(0.3)
+
+    def test_kernel_env_var_flows_through(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "compiled")
+        assert env_gates().kernel == "compiled"
+
+    def test_kernel_config_field_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "compiled")
+        cfg = ExperimentConfig(kernel="reference")
+        assert env_gates(cfg).kernel == "reference"
+
+    def test_kernel_env_var_garbage_raises(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "turbo")
+        with pytest.raises(ValueError, match="REPRO_KERNEL"):
+            env_gates()
 
 
 class TestReExports:

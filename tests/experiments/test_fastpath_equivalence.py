@@ -4,25 +4,44 @@
 ``REPRO_FASTPATH=1`` must produce bit-identical summaries for the same
 seed: the fast lane is pure memoisation, never a behaviour change.  The
 switch is read at wiring time, so each mode gets its own build.
+
+The equivalence contract is enforced on **both** kernel backends: every
+fixed-seed comparison below is parametrized over ``REPRO_KERNEL`` so the
+compiled calendar has to reproduce the reference bit-for-bit in each
+fast-lane mode (cleanly skipped where the extension is not built).
 """
 
 import pytest
 
 from repro._fastpath import FASTPATH_ENV, fastpath_enabled
 from repro.api import build_simulation, scaling_config
+from repro.sim.backend import KERNEL_ENV, backend_of, compiled_viable
+
+KERNELS = [
+    pytest.param("reference", id="reference"),
+    pytest.param("compiled", id="compiled",
+                 marks=pytest.mark.skipif(
+                     not compiled_viable(),
+                     reason="compiled kernel extension not built "
+                            "(python tools/build_kernel.py)")),
+]
 
 
-def _summary_for(monkeypatch, fastpath: bool):
+def _summary_for(monkeypatch, fastpath: bool, kernel: str = "reference"):
     monkeypatch.setenv(FASTPATH_ENV, "1" if fastpath else "0")
+    monkeypatch.setenv(KERNEL_ENV, kernel)
     assert fastpath_enabled() is fastpath
     cfg = scaling_config("DynamicSubtree", 4, 0.1, seed=42)
     sim = build_simulation(cfg)
+    assert backend_of(sim.env) == kernel
     sim.run_to(cfg.run_until_s)
     return sim
 
-def test_fixed_seed_summaries_identical(monkeypatch):
-    off = _summary_for(monkeypatch, False)
-    on = _summary_for(monkeypatch, True)
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_fixed_seed_summaries_identical(monkeypatch, kernel):
+    off = _summary_for(monkeypatch, False, kernel)
+    on = _summary_for(monkeypatch, True, kernel)
     assert repr(off.summary()) == repr(on.summary())
 
 
@@ -50,12 +69,13 @@ def test_fastpath_defaults_on(monkeypatch):
     assert fastpath_enabled() is True
 
 
-def test_kernel_counters_prove_event_elision(monkeypatch):
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_kernel_counters_prove_event_elision(monkeypatch, kernel):
     """The fast lane's win is visible in the kernel counters: fewer
     calendar events for the same simulated work, with every elision
     accounted as a fast resume and the freelists actually reused."""
-    off = _summary_for(monkeypatch, False).env.kernel_stats()
-    on = _summary_for(monkeypatch, True).env.kernel_stats()
+    off = _summary_for(monkeypatch, False, kernel).env.kernel_stats()
+    on = _summary_for(monkeypatch, True, kernel).env.kernel_stats()
     assert off["fastlane"] is False and on["fastlane"] is True
     assert off["fast_resumes"] == 0
     assert on["fast_resumes"] > 0
@@ -73,3 +93,27 @@ def test_summary_carries_kernel_counters_outside_equivalence(monkeypatch):
     assert on.kernel != off.kernel
     assert "kernel" not in repr(on)
     assert repr(off) == repr(on)
+
+
+@pytest.mark.skipif(not compiled_viable(),
+                    reason="compiled kernel extension not built")
+@pytest.mark.parametrize("fastpath", [False, True],
+                         ids=["fastpath-off", "fastpath-on"])
+def test_backends_bit_identical_per_fastpath_mode(monkeypatch, fastpath):
+    """The acceptance criterion of the backend seam: for a fixed seed the
+    compiled calendar's summary repr equals the reference's, in both
+    fast-lane modes."""
+    ref = _summary_for(monkeypatch, fastpath, "reference")
+    com = _summary_for(monkeypatch, fastpath, "compiled")
+    ref_summary, com_summary = ref.summary(), com.summary()
+    assert repr(ref_summary) == repr(com_summary)
+    assert ref_summary == com_summary
+    # even the execution counters agree — the C kernel schedules exactly
+    # the events the reference does
+    ref_stats = ref.env.kernel_stats()
+    com_stats = com.env.kernel_stats()
+    assert ref_stats["events_scheduled"] == com_stats["events_scheduled"]
+    assert ref_stats["fast_resumes"] == com_stats["fast_resumes"]
+    # provenance travels on the summary, outside the equality contract
+    assert ref_summary.kernel["kernel_backend"] == "reference"
+    assert com_summary.kernel["kernel_backend"] == "compiled"

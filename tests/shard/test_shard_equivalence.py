@@ -14,10 +14,20 @@ from repro._fastpath import FASTPATH_ENV
 from repro.api import (SHARDS_ENV, ShardingUnsupported, build_simulation,
                        run_sharded_summary, run_steady_state,
                        shard_viability, sharded_config)
+from repro.sim.backend import KERNEL_ENV, compiled_viable
 
 pytestmark = pytest.mark.skipif(
     "fork" not in __import__("multiprocessing").get_all_start_methods(),
     reason="sharding requires the fork start method")
+
+KERNELS = [
+    pytest.param("reference", id="reference"),
+    pytest.param("compiled", id="compiled",
+                 marks=pytest.mark.skipif(
+                     not compiled_viable(),
+                     reason="compiled kernel extension not built "
+                            "(python tools/build_kernel.py)")),
+]
 
 
 def small_config(**kw):
@@ -46,6 +56,21 @@ class TestBitIdentity:
         assert repr(serial) == repr(merged)
         # fields excluded from repr (overload accounting) must match too
         assert serial == merged
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_bit_identical_on_both_kernel_backends(self, monkeypatch, kernel):
+        """The kernel-backend seam composes with sharding: the gate
+        crosses the fork, every worker runs the selected calendar, and
+        the merged summary still matches the serial run byte-for-byte."""
+        monkeypatch.delenv(SHARDS_ENV, raising=False)
+        monkeypatch.setenv(KERNEL_ENV, kernel)
+        cfg = small_config()
+        serial = serial_summary(cfg)
+        merged = run_sharded_summary(cfg, 2)
+        assert repr(serial) == repr(merged)
+        assert serial == merged
+        # provenance survives the merge (shard 0's copy stands)
+        assert merged.kernel["kernel_backend"] == kernel
 
     def test_bit_identical_with_fastpath_off(self, monkeypatch):
         monkeypatch.setenv(FASTPATH_ENV, "0")

@@ -5,17 +5,37 @@ construction fast path, the inlined ``run`` loop) must preserve the
 kernel's ordering contract exactly: FIFO at equal ``(time, priority)``,
 URGENT before NORMAL at equal times, and ``run(until=...)`` semantics.
 A fixed-seed golden event-order test pins the full interleaving.
+
+Every test runs against **both** kernel backends (the pure-python
+reference and the compiled C calendar) via the ``make_env`` fixture; the
+compiled half skips cleanly when the extension is not built.
 """
 
 import random
 
 import pytest
 
-from repro.sim import Environment, NORMAL, URGENT
+from repro.sim import CompiledEnvironment, Environment, NORMAL, URGENT
+from repro.sim.backend import compiled_viable
+
+BACKENDS = [
+    pytest.param(Environment, id="reference"),
+    pytest.param(CompiledEnvironment, id="compiled",
+                 marks=pytest.mark.skipif(
+                     not compiled_viable(),
+                     reason="compiled kernel extension not built "
+                            "(python tools/build_kernel.py)")),
+]
 
 
-def test_event_order_at_equal_time_and_priority_is_fifo():
-    env = Environment()
+@pytest.fixture(params=BACKENDS)
+def make_env(request):
+    """Backend-parametrized Environment factory: same surface, both kernels."""
+    return request.param
+
+
+def test_event_order_at_equal_time_and_priority_is_fifo(make_env):
+    env = make_env()
     order = []
     events = []
     for i in range(8):
@@ -30,8 +50,8 @@ def test_event_order_at_equal_time_and_priority_is_fifo():
     assert order == [3, 0, 5, 1, 7, 2, 6, 4]
 
 
-def test_urgent_beats_normal_at_equal_time_regardless_of_sequence():
-    env = Environment()
+def test_urgent_beats_normal_at_equal_time_regardless_of_sequence(make_env):
+    env = make_env()
     order = []
     normal_first = env.event()
     normal_first.callbacks.append(lambda _e: order.append("normal"))
@@ -43,9 +63,9 @@ def test_urgent_beats_normal_at_equal_time_regardless_of_sequence():
     assert order == ["urgent", "normal"]
 
 
-def test_timeout_fast_path_preserves_fifo_with_succeed_events():
+def test_timeout_fast_path_preserves_fifo_with_succeed_events(make_env):
     """Timeouts and succeed()-triggered events share one sequence counter."""
-    env = Environment()
+    env = make_env()
     order = []
     t1 = env.timeout(0.0)
     t1.callbacks.append(lambda _e: order.append("timeout1"))
@@ -58,8 +78,8 @@ def test_timeout_fast_path_preserves_fifo_with_succeed_events():
     assert order == ["timeout1", "event", "timeout2"]
 
 
-def test_timeout_fast_path_attributes_match_generic_event():
-    env = Environment()
+def test_timeout_fast_path_attributes_match_generic_event(make_env):
+    env = make_env()
     t = env.timeout(1.5, value="payload")
     assert t.triggered and not t.processed
     assert t.ok
@@ -70,10 +90,10 @@ def test_timeout_fast_path_attributes_match_generic_event():
     assert t.processed
 
 
-def test_mixed_priorities_and_times_golden_order():
+def test_mixed_priorities_and_times_golden_order(make_env):
     """Fixed-seed golden interleaving across times, priorities and FIFO."""
     rng = random.Random(1234)
-    env = Environment()
+    env = make_env()
     order = []
     expected = []
     for i in range(200):
@@ -87,11 +107,11 @@ def test_mixed_priorities_and_times_golden_order():
     assert env.now == 2.5
 
 
-def test_step_matches_inlined_run_loop():
+def test_step_matches_inlined_run_loop(make_env):
     """Single-stepping and run() must process identical event orders."""
 
     def build():
-        env = Environment()
+        env = make_env()
         log = []
         for i in range(6):
             t = env.timeout(float(i % 3))
@@ -108,8 +128,8 @@ def test_step_matches_inlined_run_loop():
     assert env_a.now == env_b.now
 
 
-def test_run_until_time_boundary_inclusive_and_clock_clamped():
-    env = Environment()
+def test_run_until_time_boundary_inclusive_and_clock_clamped(make_env):
+    env = make_env()
     hits = []
     for d in (1.0, 2.0, 3.0):
         t = env.timeout(d)
@@ -123,22 +143,23 @@ def test_run_until_time_boundary_inclusive_and_clock_clamped():
     assert hits == [1.0, 2.0, 3.0]
 
 
-def test_golden_event_order_fixed_seed_process_workload():
+def test_golden_event_order_fixed_seed_process_workload(make_env):
     """End-to-end golden trace: processes + resources on a fixed seed.
 
     Guards the whole kernel (Timeout fast path, packed keys, inlined run
     loop, Process._resume) against ordering regressions: the trace below
-    was recorded from the pre-optimisation kernel and must never change.
+    was recorded from the pre-optimisation kernel and must never change —
+    on either backend.
 
-    Pinned to the reference kernel (``fastlane=False``): the fast lane
-    intentionally resumes a contended waiter synchronously inside
-    ``release()`` (got-before-rel at the same instant); its own golden
-    trace lives in ``test_fastlane_golden.py`` alongside the proof that
-    final states match the reference.
+    Pinned to ``fastlane=False``: the fast lane intentionally resumes a
+    contended waiter synchronously inside ``release()`` (got-before-rel
+    at the same instant); its own golden trace lives in
+    ``test_fastlane_golden.py`` alongside the proof that final states
+    match the reference.
     """
     from repro.sim import Resource
 
-    env = Environment(fastlane=False)
+    env = make_env(fastlane=False)
     trace = []
     server = Resource(env, capacity=1)
     rng = random.Random(7)
@@ -168,10 +189,10 @@ def test_golden_event_order_fixed_seed_process_workload():
     ]
 
 
-def test_any_of_settled_but_unprocessed_event_short_circuits():
+def test_any_of_settled_but_unprocessed_event_short_circuits(make_env):
     """An already-triggered, due-now event wins immediately (in input order),
     exactly like an already-processed one."""
-    env = Environment()
+    env = make_env()
     pending = env.event()
     settled = env.event()
     settled.succeed("settled-now")  # triggered, callbacks not yet dispatched
@@ -180,23 +201,23 @@ def test_any_of_settled_but_unprocessed_event_short_circuits():
     assert env.run(until=combined) == "settled-now"
 
 
-def test_any_of_first_settled_in_input_order_wins():
-    env = Environment()
+def test_any_of_first_settled_in_input_order_wins(make_env):
+    env = make_env()
     a = env.event()
     b = env.event()
     a.succeed("a")
     b.succeed("b")  # both due now; input order decides
     assert env.run(until=env.any_of([b, a])) == "b"
-    env2 = Environment()
+    env2 = make_env()
     a2, b2 = env2.event(), env2.event()
     a2.succeed("a")
     b2.succeed("b")
     assert env2.run(until=env2.any_of([a2, b2])) == "a"
 
 
-def test_any_of_future_timeout_does_not_short_circuit():
+def test_any_of_future_timeout_does_not_short_circuit(make_env):
     """A Timeout is born triggered but is *pending* until its due time."""
-    env = Environment()
+    env = make_env()
     slow = env.timeout(5.0, value="slow")
     fast = env.timeout(1.0, value="fast")
     combined = env.any_of([slow, fast])
@@ -205,8 +226,9 @@ def test_any_of_future_timeout_does_not_short_circuit():
     assert env.now == 1.0
 
 
-def test_all_of_settled_but_unprocessed_events_contribute_immediately():
-    env = Environment()
+def test_all_of_settled_but_unprocessed_events_contribute_immediately(
+        make_env):
+    env = make_env()
     a = env.event()
     b = env.event()
     a.succeed("a")
@@ -216,8 +238,8 @@ def test_all_of_settled_but_unprocessed_events_contribute_immediately():
     assert env.run(until=combined) == ["a", "b"]
 
 
-def test_all_of_mixes_settled_and_future_events():
-    env = Environment()
+def test_all_of_mixes_settled_and_future_events(make_env):
+    env = make_env()
     now_ev = env.event()
     now_ev.succeed("now")
     later = env.timeout(2.0, value="later")
@@ -227,16 +249,16 @@ def test_all_of_mixes_settled_and_future_events():
     assert env.now == 2.0
 
 
-def test_zero_delay_timeout_counts_as_due_now_for_any_of():
-    env = Environment()
+def test_zero_delay_timeout_counts_as_due_now_for_any_of(make_env):
+    env = make_env()
     t = env.timeout(0.0, value="zero")
     combined = env.any_of([t, env.timeout(1.0)])
     assert combined.triggered
     assert env.run(until=combined) == "zero"
 
 
-def test_schedule_rejects_nothing_but_keeps_fifo_counter_monotonic():
-    env = Environment()
+def test_schedule_rejects_nothing_but_keeps_fifo_counter_monotonic(make_env):
+    env = make_env()
     before = env._seq
     env.timeout(0.0)
     ev = env.event()
@@ -245,8 +267,8 @@ def test_schedule_rejects_nothing_but_keeps_fifo_counter_monotonic():
     env.run()
 
 
-def test_negative_timeout_still_rejected_by_fast_path():
-    env = Environment()
+def test_negative_timeout_still_rejected_by_fast_path(make_env):
+    env = make_env()
     with pytest.raises(ValueError, match="negative delay"):
         env.timeout(-0.1)
     assert env.peek() == float("inf")  # nothing leaked onto the calendar

@@ -85,12 +85,21 @@ def warn_if_regressed(current: float, baseline: float, *, what: str,
 
 
 def host_fields() -> dict:
-    """The host/provenance fields every bench report carries."""
+    """The host/provenance fields every bench report carries.
+
+    ``kernel_backend`` is the backend the current gates resolve to, so a
+    report produced after a silent compiled->reference fallback is still
+    distinguishable from a genuinely compiled run.
+    """
+    from repro.sim.backend import compiled_viable, resolve_kernel
+
     return {
         "cpu_count": os.cpu_count() or 1,
         "platform": platform.platform(),
         "python": platform.python_version(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "kernel_backend": resolve_kernel(),
+        "compiled_viable": compiled_viable(),
     }
 
 

@@ -124,6 +124,9 @@ def main(argv=None) -> int:
     baseline = baseline_from_prior(prior)
     trajectory = trajectory_from_prior(prior)
 
+    from repro.sim.backend import resolve_kernel
+    print(f"kernel backend: {resolve_kernel()} (recorded in the report's "
+          "kernel_backend field)")
     cfg = scaling_config("DynamicSubtree", 4, args.scale, seed=42)
     prior_env = os.environ.get(FASTPATH_ENV)
     try:

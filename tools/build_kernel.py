@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Build the optional compiled event kernel in place and verify it.
+
+Compiles ``src/repro/sim/_ckernel.c`` with the running interpreter's
+toolchain (``setup.py build_ext --inplace``), then imports the result and
+reports whether ``REPRO_KERNEL=compiled`` will actually select it.  Safe
+to run on hosts without a C compiler: the extension is declared optional,
+so the build degrades to a warning and this script exits non-zero with
+the reason instead of a traceback.
+
+Usage:
+    python tools/build_kernel.py [--quiet]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress compiler output")
+    args = parser.parse_args(argv)
+
+    cmd = [sys.executable, "setup.py", "build_ext", "--inplace"]
+    if args.quiet:
+        cmd.append("--quiet")
+    build = subprocess.run(cmd, cwd=ROOT)
+    if build.returncode != 0:
+        print(f"build_ext exited {build.returncode}", file=sys.stderr)
+        return build.returncode
+
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+    probe = subprocess.run(
+        [sys.executable, "-c",
+         "from repro.sim.backend import (compiled_viable, "
+         "compiled_unavailable_reason)\n"
+         "import repro.sim._ckernel as ck\n"
+         "assert compiled_viable(), compiled_unavailable_reason()\n"
+         "print(ck.__file__)"],
+        cwd=ROOT, env=env, capture_output=True, text=True)
+    if probe.returncode != 0:
+        print("compiled kernel did not import after the build:",
+              file=sys.stderr)
+        print(probe.stderr.strip(), file=sys.stderr)
+        return 1
+    print(f"compiled kernel ready: {probe.stdout.strip()}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

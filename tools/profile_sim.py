@@ -16,26 +16,34 @@ ways through ``repro.shard`` (a shardable StaticSubtree config replaces
 the default DynamicSubtree one, which cannot shard), so serial,
 process-pool and sharded modes are comparable from one entry point.
 
+``--backend`` pins the event-kernel backend (``REPRO_KERNEL``) for the
+run; ``--backend both`` times one run on each backend and prints their
+kernel counters side by side — the quickest way to see what the compiled
+calendar buys on this host.
+
 Usage:
     python tools/profile_sim.py [--scale 0.5] [--strategy DynamicSubtree]
     python tools/profile_sim.py --sort tottime --limit 40
     python tools/profile_sim.py --repeat 5
     python tools/profile_sim.py --parallel --seeds 8 --repeat 3
     python tools/profile_sim.py --shards 4 --repeat 3
+    python tools/profile_sim.py --backend both --repeat 3
 """
 
 from __future__ import annotations
 
 import argparse
 import cProfile
+import os
 import pstats
 import statistics
 import sys
 import time
 
-from repro.api import (run_many, require_ok, run_sharded_summary,
-                       run_steady_state, scaling_config, shard_viability,
-                       sharded_config)
+from repro.api import (KERNEL_ENV, build_simulation, compiled_viable,
+                       resolve_kernel, run_many, require_ok,
+                       run_sharded_summary, run_steady_state, scaling_config,
+                       shard_viability, sharded_config)
 
 
 def _sweep_once(configs, mode):
@@ -50,6 +58,44 @@ def _single_once(config):
     result = run_steady_state(config)
     wall = time.perf_counter() - t
     return wall, result.total_ops
+
+
+def _counters_run(config, backend):
+    """One timed run pinned to ``backend``; its merged kernel counters."""
+    os.environ[KERNEL_ENV] = backend
+    sim = build_simulation(config)
+    t = time.perf_counter()
+    sim.run_to(config.run_until_s)
+    wall = time.perf_counter() - t
+    summary = sim.summary()
+    return wall, summary.total_ops, dict(summary.kernel)
+
+
+def _print_side_by_side(config, repeat):
+    """Time ``repeat`` runs per backend; counters in adjacent columns."""
+    rows = {}
+    walls = {}
+    ops = 0
+    for backend in ("reference", "compiled"):
+        best = float("inf")
+        for _ in range(repeat):
+            wall, ops, kernel = _counters_run(config, backend)
+            best = min(best, wall)
+        walls[backend] = best
+        rows[backend] = kernel
+    print(f"\n{ops} simulated ops per run, best of {repeat} "
+          "per backend")
+    print(f"{'counter':<24}{'reference':>16}{'compiled':>16}")
+    print(f"{'wall_s':<24}{walls['reference']:>16.3f}"
+          f"{walls['compiled']:>16.3f}")
+    keys = [k for k in rows["reference"] if k in rows["compiled"]]
+    for key in keys:
+        ref, com = rows["reference"][key], rows["compiled"][key]
+        ref_s = f"{ref:.4f}" if isinstance(ref, float) else str(ref)
+        com_s = f"{com:.4f}" if isinstance(com, float) else str(com)
+        print(f"{key:<24}{ref_s:>16}{com_s:>16}")
+    print(f"\ncompiled speedup {walls['reference'] / walls['compiled']:.2f}x "
+          "(same events, same results; see the equivalence suites)")
 
 
 def main(argv=None) -> int:
@@ -76,9 +122,36 @@ def main(argv=None) -> int:
     mode.add_argument("--shards", type=int, metavar="N",
                       help="time one shardable experiment partitioned N "
                            "ways via repro.shard")
+    parser.add_argument("--backend", choices=["reference", "compiled",
+                                              "both"],
+                        help="pin the event-kernel backend (REPRO_KERNEL) "
+                             "for the run; 'both' times one run per "
+                             "backend and prints kernel counters side by "
+                             "side")
     args = parser.parse_args(argv)
     if args.repeat < 1:
         parser.error("--repeat must be >= 1")
+    if args.backend in ("compiled", "both") and not compiled_viable():
+        parser.error("compiled kernel extension not built; run "
+                     "`python tools/build_kernel.py` first")
+    if args.backend == "both":
+        if args.parallel or args.serial or args.shards is not None:
+            parser.error("--backend both compares single runs; drop "
+                         "--parallel/--serial/--shards")
+        cfg = scaling_config(args.strategy, args.n_mds, args.scale)
+        prior_env = os.environ.get(KERNEL_ENV)
+        try:
+            _print_side_by_side(cfg, args.repeat)
+        finally:
+            if prior_env is None:
+                os.environ.pop(KERNEL_ENV, None)
+            else:
+                os.environ[KERNEL_ENV] = prior_env
+        return 0
+    if args.backend is not None:
+        os.environ[KERNEL_ENV] = args.backend
+    print(f"kernel backend: {resolve_kernel()} "
+          f"(compiled extension {'built' if compiled_viable() else 'absent'})")
 
     if args.shards is not None:
         cfg = sharded_config(n_mds=max(args.n_mds, args.shards),
