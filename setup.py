@@ -1,13 +1,16 @@
-"""Extension build hook for the optional compiled event kernel.
+"""Extension build hook for the optional compiled backends.
 
-Project metadata lives in pyproject.toml; this file only declares the
-``repro.sim._ckernel`` C extension.  The extension is **optional**: when
-no C toolchain (or no CPython headers) is available the build logs a
-warning and the wheel/editable install proceeds without it — at runtime
-``REPRO_KERNEL=compiled`` then falls back silently to the pure-python
-reference kernel (see ``repro/sim/backend.py``).
+Project metadata lives in pyproject.toml; this file only declares the C
+extensions: ``repro.sim._ckernel`` (the compiled event calendar) and
+``repro.model._cmodel`` (the compiled MDS-model hot spots).  Both are
+**optional**: when no C toolchain (or no CPython headers) is available
+the build logs a warning and the wheel/editable install proceeds without
+them — at runtime ``REPRO_KERNEL=compiled`` / ``REPRO_MODEL=compiled``
+then fall back silently to the pure-python reference implementations
+(see ``repro/sim/backend.py`` and ``repro/model/backend.py``).
 
-Build in place for a source checkout (puts the .so next to backend.py)::
+Build in place for a source checkout (puts the .so files next to the
+backend modules)::
 
     python tools/build_kernel.py          # or:
     python setup.py build_ext --inplace
@@ -21,6 +24,11 @@ setup(
             "repro.sim._ckernel",
             sources=["src/repro/sim/_ckernel.c"],
             optional=True,
-        )
+        ),
+        Extension(
+            "repro.model._cmodel",
+            sources=["src/repro/model/_cmodel.c"],
+            optional=True,
+        ),
     ]
 )

@@ -56,6 +56,8 @@ from .obs import (JsonlSink, RingBufferSink, Span, Trace, Tracer,
                   export_jsonl, read_jsonl)
 from .parallel import (SweepError, TaskError, require_ok, run_many,
                        run_many_timeline)
+from .model.backend import (MODEL_ENV, compiled_model_viable, model_info,
+                            parse_model_env, resolve_model)
 from .proxy import ProxySpec, ProxyTier
 from .shard import (ShardingUnsupported, run_sharded, run_sharded_summary,
                     shard_viability, sharded_config)
@@ -145,6 +147,12 @@ __all__ = [
     "make_environment",
     "parse_kernel_env",
     "resolve_kernel",
+    # model backend selection
+    "MODEL_ENV",
+    "compiled_model_viable",
+    "model_info",
+    "parse_model_env",
+    "resolve_model",
     # one-call running
     "RunResult",
     "run_experiment",

@@ -17,6 +17,7 @@ from ..clients import (Client, FlashCrowdSpec, FlashCrowdWorkload,
                        ScientificWorkload, ShiftSpec, ShiftingWorkload,
                        make_arrivals)
 from ..mds import MdsCluster
+from ..model.backend import resolve_model, set_model_gate
 from ..namespace import Namespace, SnapshotSpec, SnapshotStats, \
     generate_snapshot
 from ..namespace import path as pathmod
@@ -47,6 +48,9 @@ class Simulation:
     tracer: Optional[Tracer] = None
     #: the adaptive proxy tier fronting the cluster, when configured
     proxy: Optional[ProxyTier] = None
+    #: model backend this simulation was built on (provenance; the
+    #: backends are behaviour-identical by contract)
+    model_backend: str = "reference"
 
     def run_to(self, t: float) -> None:
         self.env.run(until=t)
@@ -154,7 +158,13 @@ def build_simulation(config: ExperimentConfig, *,
     node array (peers stay inert), but only this shard's workers and
     clients — with the shard transport spliced in before ``start()``.
     """
-    env = make_environment(kernel=env_gates(config).kernel)
+    gates = env_gates(config)
+    env = make_environment(kernel=gates.kernel)
+    # Record the resolved model gate process-wide so structures built
+    # later in the run (failover cache resets, proxy tiers) follow the
+    # same backend as the ones built here.
+    set_model_gate(gates.model)
+    model_backend = resolve_model(gates.model)
     streams = RngStreams(config.seed)
 
     ns, snapshot = _make_snapshot(config, streams)
@@ -205,7 +215,8 @@ def build_simulation(config: ExperimentConfig, *,
 
     return Simulation(config=config, env=env, streams=streams, ns=ns,
                       snapshot=snapshot, cluster=cluster, clients=clients,
-                      workload=workload, tracer=tracer, proxy=proxy)
+                      workload=workload, tracer=tracer, proxy=proxy,
+                      model_backend=model_backend)
 
 
 def _size_cache(config: ExperimentConfig, total_metadata: int):

@@ -22,6 +22,7 @@ from typing import Dict, Optional, Tuple, Union
 from .._fastpath import FASTPATH_ENV, fastpath_enabled
 from ..mds import SimParams
 from ..mds.messages import OpType
+from ..model.backend import MODEL_ENV, parse_model_env
 from ..proxy import ProxySpec
 from ..sim.backend import KERNEL_ENV, parse_kernel_env
 from .workload import WorkloadSpec, normalize_workload
@@ -126,6 +127,9 @@ class EnvGates:
     #: semantics: ``None`` default-reference, ``"reference"``,
     #: ``"compiled"`` or ``"auto"``)
     kernel: Optional[str] = None
+    #: model backend gate (:func:`repro.model.backend.parse_model_env`
+    #: semantics, same token set as ``kernel``)
+    model: Optional[str] = None
 
 
 def env_gates(config: "Optional[ExperimentConfig]" = None, *,
@@ -149,6 +153,10 @@ def env_gates(config: "Optional[ExperimentConfig]" = None, *,
       (reference).  ``compiled``/``auto`` still degrade silently to the
       reference kernel when the extension is unavailable — resolution to
       an actual backend happens in :func:`repro.sim.backend.resolve_kernel`.
+    * ``model`` — ``config.model`` when set, else ``REPRO_MODEL``
+      (:func:`repro.model.backend.parse_model_env`), else ``None``
+      (reference).  Same silent-fallback contract as ``kernel``;
+      resolution happens in :func:`repro.model.backend.resolve_model`.
     """
     parallel, workers = parse_parallel_env(os.environ.get(PARALLEL_ENV))
     if config is not None and config.parallel is not None:
@@ -160,9 +168,12 @@ def env_gates(config: "Optional[ExperimentConfig]" = None, *,
     kernel = parse_kernel_env(os.environ.get(KERNEL_ENV))
     if config is not None and config.kernel is not None:
         kernel = parse_kernel_env(config.kernel)
+    model = parse_model_env(os.environ.get(MODEL_ENV))
+    if config is not None and config.model is not None:
+        model = parse_model_env(config.model)
     return EnvGates(fastpath=fastpath_enabled(), parallel=parallel,
                     parallel_workers=workers, scale=scale, shards=shards,
-                    kernel=kernel)
+                    kernel=kernel, model=model)
 
 
 def resolve_shard_count(config: "ExperimentConfig") -> Optional[int]:
@@ -256,6 +267,12 @@ class ExperimentConfig:
     # the compiled kernel is bit-identical to the reference by contract
     # (and falls back to it when the extension is unavailable).
     kernel: Optional[str] = None
+
+    # model backend (repro.model.backend): None defers to the REPRO_MODEL
+    # env gate; "reference" pins the pure-python cache/memo/popularity
+    # structures, "compiled"/"auto" prefer the C extension.  Same
+    # bit-identity and silent-fallback contract as ``kernel``.
+    model: Optional[str] = None
 
     # -- derived ------------------------------------------------------------
     @property

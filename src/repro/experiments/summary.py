@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..metrics import (EMPTY_SUMMARY, LatencyHistogram, LatencySummary,
                        format_table)
+from ..model.backend import model_info
 from ..sim.backend import kernel_info
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -185,7 +186,8 @@ def summarize_simulation(sim: "Simulation",
         latency=overall,
         latency_by_op=by_op,
         total_metadata=sim.total_metadata,
-        kernel={**sim.env.kernel_stats(), **kernel_info(sim.env)},
+        kernel={**sim.env.kernel_stats(), **kernel_info(sim.env),
+                **model_info(sim.model_backend)},
         offered_ops=offered,
         dropped_ops=dropped,
         slo_violations=slo_viol,

@@ -91,12 +91,11 @@ def fail_node(cluster: "MdsCluster", node_id: int,
 
 def _drop_volatile_state(node: "MdsNode") -> None:
     # unpin the root so the cache can drain completely, then rebuild empty
-    from ..cache import MetadataCache
+    from ..model.backend import make_metadata_cache, make_popularity_map
 
-    node.cache = MetadataCache(node.params.cache_capacity)
+    node.cache = make_metadata_cache(node.params.cache_capacity)
     node.replicas.drop_all()
-    from .popularity import PopularityMap
-    node.popularity = PopularityMap(node.params.popularity_halflife_s)
+    node.popularity = make_popularity_map(node.params.popularity_halflife_s)
     # open handles die with the node; orphans it retained are reclaimed
     # (the crash-recovery cleanup a real MDS would run from its journal)
     ns = node.cluster.ns

@@ -1,0 +1,38 @@
+"""Model-backend seam: reference (pure python) vs compiled C hot spots.
+
+See :mod:`repro.model.backend` for the ``REPRO_MODEL`` gate and the
+factories the cache/namespace/mds call sites construct through, and
+``src/repro/model/_cmodel.c`` for the compiled implementations.
+"""
+
+from .backend import (
+    COMPILED,
+    MODEL_ENV,
+    REFERENCE,
+    compiled_model_unavailable_reason,
+    compiled_model_viable,
+    make_authority_memo,
+    make_metadata_cache,
+    make_popularity_map,
+    make_resolution_memo,
+    model_info,
+    parse_model_env,
+    resolve_model,
+    set_model_gate,
+)
+
+__all__ = [
+    "COMPILED",
+    "MODEL_ENV",
+    "REFERENCE",
+    "compiled_model_unavailable_reason",
+    "compiled_model_viable",
+    "make_authority_memo",
+    "make_metadata_cache",
+    "make_popularity_map",
+    "make_resolution_memo",
+    "model_info",
+    "parse_model_env",
+    "resolve_model",
+    "set_model_gate",
+]

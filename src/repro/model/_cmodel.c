@@ -1,0 +1,2390 @@
+/* _cmodel.c — compiled MDS-model hot spots behind `repro.model.backend`.
+ *
+ * Hand-written CPython extension mirroring the pure-python reference
+ * implementations byte-for-byte in observable behaviour:
+ *
+ *   - CacheEntry / MetadataCache   <-> src/repro/cache/lru.py
+ *   - ResolutionMemo               <-> src/repro/namespace/memo.py
+ *   - DecayCounter / PopularityMap <-> src/repro/mds/popularity.py
+ *   - AuthorityMemo                <-> the epoch-keyed dict memo in
+ *                                      src/repro/partition/base.py
+ *
+ * Same idiom as src/repro/sim/_ckernel.c: freelists for the per-op
+ * structs, identical counters, identical exception types and messages.
+ * Bit-identity contract: every float expression keeps the exact shape of
+ * the python source (notably the popularity decay
+ * `value *= exp(-LN2 * (now - last_t) / halflife)`), so fixed-seed
+ * summaries are indistinguishable across backends.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include "structmember.h"
+#include <math.h>
+
+#define CM_POOL_MAX 512
+
+/* ------------------------------------------------------------------ */
+/* module state                                                       */
+/* ------------------------------------------------------------------ */
+
+static PyObject *CacheCountersClass = NULL;  /* installed by configure() */
+static PyObject *deepcopy_fn = NULL;         /* copy.deepcopy, lazy      */
+static double CM_LN2 = 0.0;                  /* log(2.0), set at init    */
+
+/* interned attribute / kwarg names */
+static PyObject *S_touch, *S_replica, *S_prefetched, *S_ino,
+    *S_structure_epoch, *S_values, *S_insertions, *S_evictions,
+    *S_prefetch_insertions, *S_amount, *S_floor;
+
+static int
+kwname_is(PyObject *name, PyObject *interned)
+{
+    return name == interned || PyUnicode_Compare(name, interned) == 0;
+}
+
+static PyObject *
+get_deepcopy(void)
+{
+    if (deepcopy_fn == NULL) {
+        PyObject *mod = PyImport_ImportModule("copy");
+        if (mod == NULL)
+            return NULL;
+        deepcopy_fn = PyObject_GetAttrString(mod, "deepcopy");
+        Py_DECREF(mod);
+    }
+    return deepcopy_fn;
+}
+
+/* ------------------------------------------------------------------ */
+/* CacheEntry                                                         */
+/* ------------------------------------------------------------------ */
+
+typedef struct CMEntry {
+    PyObject_HEAD
+    PyObject *ino_obj;          /* python int, dict key + attribute     */
+    PyObject *parent_ino;       /* python int, or None for the root     */
+    long long ino;              /* C mirror for hot comparisons         */
+    long long pin_count;        /* cached children pinning this entry   */
+    long long external_pins;    /* delegation anchors, in-flight ops    */
+    char is_dir;
+    char replica;
+    char dirty;
+    char in_lru;
+    /* intrusive eviction-order links (borrowed: every listed entry is
+     * owned by the cache dict, sentinels by the cache struct) */
+    struct CMEntry *prv;
+    struct CMEntry *nxt;
+} CMEntry;
+
+static PyTypeObject CMEntryType;
+
+static CMEntry *entry_pool[CM_POOL_MAX];
+static int entry_pool_len = 0;
+
+static CMEntry *
+entry_fresh(PyObject *ino_obj, PyObject *parent_ino, int is_dir, int replica)
+{
+    CMEntry *e;
+    long long ino = PyLong_AsLongLong(ino_obj);
+    if (ino == -1 && PyErr_Occurred())
+        return NULL;
+    if (entry_pool_len > 0) {
+        e = entry_pool[--entry_pool_len];
+        (void)PyObject_INIT((PyObject *)e, &CMEntryType);
+    }
+    else {
+        e = PyObject_New(CMEntry, &CMEntryType);
+        if (e == NULL)
+            return NULL;
+    }
+    Py_INCREF(ino_obj);
+    e->ino_obj = ino_obj;
+    Py_INCREF(parent_ino);
+    e->parent_ino = parent_ino;
+    e->ino = ino;
+    e->pin_count = 0;
+    e->external_pins = 0;
+    e->is_dir = (char)is_dir;
+    e->replica = (char)replica;
+    e->dirty = 0;
+    e->in_lru = 0;
+    e->prv = e->nxt = NULL;
+    return e;
+}
+
+static void
+CMEntry_dealloc(CMEntry *self)
+{
+    Py_CLEAR(self->ino_obj);
+    Py_CLEAR(self->parent_ino);
+    self->prv = self->nxt = NULL;
+    if (entry_pool_len < CM_POOL_MAX)
+        entry_pool[entry_pool_len++] = self;
+    else
+        PyObject_Del(self);
+}
+
+static PyObject *
+CMEntry_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    PyErr_SetString(PyExc_TypeError,
+                    "cannot construct CacheEntry directly; entries are "
+                    "created by MetadataCache");
+    return NULL;
+}
+
+static int
+entry_pinned(CMEntry *e)
+{
+    return e->pin_count > 0 || e->external_pins > 0;
+}
+
+static PyObject *
+CMEntry_get_pinned(CMEntry *self, void *closure)
+{
+    return PyBool_FromLong(entry_pinned(self));
+}
+
+static PyObject *
+CMEntry_get_is_prefix(CMEntry *self, void *closure)
+{
+    return PyBool_FromLong(self->is_dir && entry_pinned(self));
+}
+
+static PyObject *
+CMEntry_repr(CMEntry *self)
+{
+    /* matches the dataclass repr (lru fields are repr=False) */
+    return PyUnicode_FromFormat(
+        "CacheEntry(ino=%S, parent_ino=%S, is_dir=%s, replica=%s, "
+        "pin_count=%lld, external_pins=%lld, dirty=%s)",
+        self->ino_obj, self->parent_ino,
+        self->is_dir ? "True" : "False",
+        self->replica ? "True" : "False",
+        self->pin_count, self->external_pins,
+        self->dirty ? "True" : "False");
+}
+
+static PyObject *
+CMEntry_richcompare(PyObject *a, PyObject *b, int op)
+{
+    CMEntry *x, *y;
+    int eq;
+    if (op != Py_EQ && op != Py_NE)
+        Py_RETURN_NOTIMPLEMENTED;
+    if (!PyObject_TypeCheck(a, &CMEntryType) ||
+            !PyObject_TypeCheck(b, &CMEntryType))
+        Py_RETURN_NOTIMPLEMENTED;
+    x = (CMEntry *)a;
+    y = (CMEntry *)b;
+    /* dataclass eq over the compare fields (lru links excluded) */
+    eq = (x->ino == y->ino && x->is_dir == y->is_dir &&
+          x->replica == y->replica && x->pin_count == y->pin_count &&
+          x->external_pins == y->external_pins && x->dirty == y->dirty);
+    if (eq) {
+        eq = PyObject_RichCompareBool(x->parent_ino, y->parent_ino, Py_EQ);
+        if (eq < 0)
+            return NULL;
+    }
+    if (op == Py_NE)
+        eq = !eq;
+    return PyBool_FromLong(eq);
+}
+
+static PyMemberDef CMEntry_members[] = {
+    {"ino", T_LONGLONG, offsetof(CMEntry, ino), READONLY,
+     "inode number"},
+    {"parent_ino", T_OBJECT, offsetof(CMEntry, parent_ino), READONLY,
+     "parent inode number (None only for the root)"},
+    {"is_dir", T_BOOL, offsetof(CMEntry, is_dir), READONLY, NULL},
+    {"replica", T_BOOL, offsetof(CMEntry, replica), 0,
+     "cached copy of another MDS's metadata"},
+    {"dirty", T_BOOL, offsetof(CMEntry, dirty), 0, NULL},
+    {"pin_count", T_LONGLONG, offsetof(CMEntry, pin_count), READONLY,
+     "cached children pinning this entry"},
+    {"external_pins", T_LONGLONG, offsetof(CMEntry, external_pins), READONLY,
+     "delegation anchors, in-flight operations"},
+    {"in_lru", T_BOOL, offsetof(CMEntry, in_lru), READONLY, NULL},
+    {NULL}
+};
+
+static PyGetSetDef CMEntry_getset[] = {
+    {"pinned", (getter)CMEntry_get_pinned, NULL, NULL, NULL},
+    {"is_prefix", (getter)CMEntry_get_is_prefix, NULL,
+     "a directory held (at least in part) to anchor cached descendants",
+     NULL},
+    {NULL}
+};
+
+static PyTypeObject CMEntryType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.model._cmodel.CacheEntry",
+    .tp_basicsize = sizeof(CMEntry),
+    .tp_dealloc = (destructor)CMEntry_dealloc,
+    .tp_repr = (reprfunc)CMEntry_repr,
+    .tp_flags = Py_TPFLAGS_DEFAULT,
+    .tp_doc = "One cached inode; doubles as its own LRU-list link.",
+    .tp_richcompare = CMEntry_richcompare,
+    .tp_members = CMEntry_members,
+    .tp_getset = CMEntry_getset,
+    .tp_new = CMEntry_new,
+};
+
+/* ------------------------------------------------------------------ */
+/* DecayCounter                                                       */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    double halflife_s;
+    double value;
+    double last_t;
+} CMCounter;
+
+static PyTypeObject CMCounterType;
+
+static CMCounter *counter_pool[CM_POOL_MAX];
+static int counter_pool_len = 0;
+
+static CMCounter *
+counter_fresh(double halflife_s, double value, double last_t)
+{
+    CMCounter *c;
+    if (counter_pool_len > 0) {
+        c = counter_pool[--counter_pool_len];
+        (void)PyObject_INIT((PyObject *)c, &CMCounterType);
+    }
+    else {
+        c = PyObject_New(CMCounter, &CMCounterType);
+        if (c == NULL)
+            return NULL;
+    }
+    c->halflife_s = halflife_s;
+    c->value = value;
+    c->last_t = last_t;
+    return c;
+}
+
+static void
+CMCounter_dealloc(CMCounter *self)
+{
+    if (counter_pool_len < CM_POOL_MAX)
+        counter_pool[counter_pool_len++] = self;
+    else
+        PyObject_Del(self);
+}
+
+static int
+CMCounter_init(CMCounter *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"halflife_s", "value", "last_t", NULL};
+    double halflife_s, value = 0.0, last_t = 0.0;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "d|dd:DecayCounter", kwlist,
+                                     &halflife_s, &value, &last_t))
+        return -1;
+    self->halflife_s = halflife_s;
+    self->value = value;
+    self->last_t = last_t;
+    return 0;
+}
+
+/* exact expression shape of DecayCounter._decay_to — do not refactor */
+static void
+counter_decay_to(CMCounter *c, double now)
+{
+    if (now > c->last_t && c->value > 0.0)
+        c->value *= exp(-CM_LN2 * (now - c->last_t) / c->halflife_s);
+    if (now > c->last_t)
+        c->last_t = now;      /* last_t = max(last_t, now) */
+}
+
+static PyObject *
+CMCounter_add(CMCounter *self, PyObject *const *args, Py_ssize_t nargs,
+              PyObject *kwnames)
+{
+    double now, amount = 1.0;
+    Py_ssize_t nkw = kwnames ? PyTuple_GET_SIZE(kwnames) : 0;
+    if (nargs < 1 || nargs > 2 || nargs + nkw > 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "add() takes 1 or 2 arguments (now, amount=1.0)");
+        return NULL;
+    }
+    now = PyFloat_AsDouble(args[0]);
+    if (now == -1.0 && PyErr_Occurred())
+        return NULL;
+    if (nargs == 2) {
+        amount = PyFloat_AsDouble(args[1]);
+        if (amount == -1.0 && PyErr_Occurred())
+            return NULL;
+    }
+    if (nkw) {
+        if (!kwname_is(PyTuple_GET_ITEM(kwnames, 0), S_amount)) {
+            PyErr_SetString(PyExc_TypeError,
+                            "add() got an unexpected keyword argument");
+            return NULL;
+        }
+        amount = PyFloat_AsDouble(args[nargs]);
+        if (amount == -1.0 && PyErr_Occurred())
+            return NULL;
+    }
+    counter_decay_to(self, now);
+    self->value += amount;
+    return PyFloat_FromDouble(self->value);
+}
+
+static PyObject *
+CMCounter_read(CMCounter *self, PyObject *now_obj)
+{
+    double now = PyFloat_AsDouble(now_obj);
+    if (now == -1.0 && PyErr_Occurred())
+        return NULL;
+    counter_decay_to(self, now);
+    return PyFloat_FromDouble(self->value);
+}
+
+static PyMethodDef CMCounter_methods[] = {
+    {"add", (PyCFunction)(void (*)(void))CMCounter_add,
+     METH_FASTCALL | METH_KEYWORDS,
+     "Record ``amount`` accesses at time ``now``; returns the new value."},
+    {"read", (PyCFunction)CMCounter_read, METH_O,
+     "Current (decayed) value without recording an access."},
+    {NULL}
+};
+
+static PyMemberDef CMCounter_members[] = {
+    {"halflife_s", T_DOUBLE, offsetof(CMCounter, halflife_s), 0, NULL},
+    {"value", T_DOUBLE, offsetof(CMCounter, value), 0, NULL},
+    {"last_t", T_DOUBLE, offsetof(CMCounter, last_t), 0, NULL},
+    {NULL}
+};
+
+static PyObject *
+CMCounter_repr(CMCounter *self)
+{
+    PyObject *h = PyFloat_FromDouble(self->halflife_s);
+    PyObject *v = PyFloat_FromDouble(self->value);
+    PyObject *t = PyFloat_FromDouble(self->last_t);
+    PyObject *out = NULL;
+    if (h && v && t)
+        out = PyUnicode_FromFormat(
+            "DecayCounter(halflife_s=%R, value=%R, last_t=%R)", h, v, t);
+    Py_XDECREF(h);
+    Py_XDECREF(v);
+    Py_XDECREF(t);
+    return out;
+}
+
+static PyTypeObject CMCounterType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.model._cmodel.DecayCounter",
+    .tp_basicsize = sizeof(CMCounter),
+    .tp_dealloc = (destructor)CMCounter_dealloc,
+    .tp_repr = (reprfunc)CMCounter_repr,
+    .tp_flags = Py_TPFLAGS_DEFAULT,
+    .tp_doc = "A counter whose value halves every ``halflife_s`` seconds.",
+    .tp_methods = CMCounter_methods,
+    .tp_members = CMCounter_members,
+    .tp_init = (initproc)CMCounter_init,
+    .tp_new = PyType_GenericNew,
+};
+
+/* ------------------------------------------------------------------ */
+/* MetadataCache                                                      */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    long long capacity;
+    long long insertions;
+    long long evictions;
+    long long prefetch_insertions;
+    PyObject *entries;          /* dict: ino -> CMEntry                 */
+    CMEntry *head;              /* strong sentinel, head side = coldest */
+    CMEntry *tail;              /* strong sentinel, tail side = hottest */
+} CMCache;
+
+static PyTypeObject CMCacheType;
+
+/* intrusive-list primitives (python: _lru_unlink/_lru_append_*) */
+
+static void
+lru_unlink(CMEntry *e)
+{
+    CMEntry *prev = e->prv, *nxt = e->nxt;
+    prev->nxt = nxt;
+    nxt->prv = prev;
+    e->prv = e->nxt = NULL;
+    e->in_lru = 0;
+}
+
+static void
+lru_append_hot(CMCache *c, CMEntry *e)
+{
+    CMEntry *tail = c->tail, *prev = tail->prv;
+    e->prv = prev;
+    e->nxt = tail;
+    prev->nxt = e;
+    tail->prv = e;
+    e->in_lru = 1;
+}
+
+static void
+lru_append_cold(CMCache *c, CMEntry *e)
+{
+    CMEntry *head = c->head, *nxt = head->nxt;
+    e->prv = head;
+    e->nxt = nxt;
+    head->nxt = e;
+    nxt->prv = e;
+    e->in_lru = 1;
+}
+
+static void
+lru_touch(CMCache *c, CMEntry *e)
+{
+    if (e->nxt == c->tail)
+        return;                 /* already hottest */
+    lru_unlink(e);
+    lru_append_hot(c, e);
+}
+
+static void
+cache_make_evictable(CMCache *c, CMEntry *e, int cold)
+{
+    if (e->in_lru)
+        lru_unlink(e);
+    if (cold)
+        lru_append_cold(c, e);
+    else
+        lru_append_hot(c, e);
+}
+
+/* python: _unpin_parent */
+static int
+cache_unpin_parent(CMCache *c, CMEntry *child)
+{
+    CMEntry *parent;
+    PyObject *p;
+    if (child->parent_ino == Py_None)
+        return 0;
+    p = PyDict_GetItemWithError(c->entries, child->parent_ino);
+    if (p == NULL)
+        return PyErr_Occurred() ? -1 : 0;
+    parent = (CMEntry *)p;
+    parent->pin_count -= 1;
+    if (!entry_pinned(parent))
+        cache_make_evictable(c, parent, /*cold=*/1);
+    return 0;
+}
+
+/* python: _evict_one; returns a NEW reference, NULL with no error set
+ * when nothing is evictable, NULL with an error set on failure */
+static CMEntry *
+cache_evict_one(CMCache *c, int has_exclude, long long exclude)
+{
+    CMEntry *victim = c->head->nxt;
+    while (victim != c->tail) {
+        if (!has_exclude || victim->ino != exclude) {
+            Py_INCREF(victim);
+            if (PyDict_DelItem(c->entries, victim->ino_obj) < 0) {
+                Py_DECREF(victim);
+                return NULL;
+            }
+            lru_unlink(victim);
+            if (cache_unpin_parent(c, victim) < 0) {
+                Py_DECREF(victim);
+                return NULL;
+            }
+            c->evictions += 1;
+            return victim;
+        }
+        victim = victim->nxt;
+    }
+    return NULL;
+}
+
+/* python: _shrink; returns a new list of evicted entries */
+static PyObject *
+cache_shrink(CMCache *c, int has_exclude, long long exclude)
+{
+    PyObject *evicted = PyList_New(0);
+    if (evicted == NULL)
+        return NULL;
+    while (PyDict_GET_SIZE(c->entries) > (Py_ssize_t)c->capacity) {
+        CMEntry *victim = cache_evict_one(c, has_exclude, exclude);
+        if (victim == NULL) {
+            if (PyErr_Occurred()) {
+                Py_DECREF(evicted);
+                return NULL;
+            }
+            break;              /* everything pinned: tolerate overflow */
+        }
+        if (PyList_Append(evicted, (PyObject *)victim) < 0) {
+            Py_DECREF(victim);
+            Py_DECREF(evicted);
+            return NULL;
+        }
+        Py_DECREF(victim);
+    }
+    return evicted;
+}
+
+/* type plumbing ---------------------------------------------------- */
+
+static int
+CMCache_traverse(CMCache *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->entries);
+    Py_VISIT(self->head);
+    Py_VISIT(self->tail);
+    return 0;
+}
+
+static int
+CMCache_clear_refs(CMCache *self)
+{
+    Py_CLEAR(self->entries);
+    Py_CLEAR(self->head);
+    Py_CLEAR(self->tail);
+    return 0;
+}
+
+static void
+CMCache_dealloc(CMCache *self)
+{
+    PyObject_GC_UnTrack(self);
+    (void)CMCache_clear_refs(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static int
+CMCache_init(CMCache *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"capacity", NULL};
+    long long capacity;
+    PyObject *entries, *minus1, *minus2;
+    CMEntry *head = NULL, *tail = NULL;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "L:MetadataCache", kwlist,
+                                     &capacity))
+        return -1;
+    if (capacity < 1) {
+        PyErr_Format(PyExc_ValueError,
+                     "capacity must be >= 1, got %lld", capacity);
+        return -1;
+    }
+    entries = PyDict_New();
+    if (entries == NULL)
+        return -1;
+    minus1 = PyLong_FromLong(-1);
+    minus2 = PyLong_FromLong(-2);
+    if (minus1 != NULL && minus2 != NULL) {
+        head = entry_fresh(minus1, Py_None, 0, 0);
+        if (head != NULL)
+            tail = entry_fresh(minus2, Py_None, 0, 0);
+    }
+    Py_XDECREF(minus1);
+    Py_XDECREF(minus2);
+    if (head == NULL || tail == NULL) {
+        Py_DECREF(entries);
+        Py_XDECREF(head);
+        return -1;
+    }
+    head->nxt = tail;
+    tail->prv = head;
+    self->capacity = capacity;
+    self->insertions = self->evictions = self->prefetch_insertions = 0;
+    Py_XSETREF(self->entries, entries);
+    Py_XSETREF(self->head, head);
+    Py_XSETREF(self->tail, tail);
+    return 0;
+}
+
+/* queries ---------------------------------------------------------- */
+
+static Py_ssize_t
+CMCache_len(CMCache *self)
+{
+    return PyDict_GET_SIZE(self->entries);
+}
+
+static int
+CMCache_contains(CMCache *self, PyObject *ino)
+{
+    return PyDict_Contains(self->entries, ino);
+}
+
+static PyObject *
+CMCache_get(CMCache *self, PyObject *const *args, Py_ssize_t nargs,
+            PyObject *kwnames)
+{
+    PyObject *found;
+    int touch = 1;
+    Py_ssize_t nkw = kwnames ? PyTuple_GET_SIZE(kwnames) : 0;
+    if (nargs != 1 || nkw > 1) {
+        PyErr_SetString(PyExc_TypeError,
+                        "get() takes one positional argument and the "
+                        "keyword-only ``touch``");
+        return NULL;
+    }
+    if (nkw) {
+        if (!kwname_is(PyTuple_GET_ITEM(kwnames, 0), S_touch)) {
+            PyErr_SetString(PyExc_TypeError,
+                            "get() got an unexpected keyword argument");
+            return NULL;
+        }
+        touch = PyObject_IsTrue(args[1]);
+        if (touch < 0)
+            return NULL;
+    }
+    found = PyDict_GetItemWithError(self->entries, args[0]);
+    if (found == NULL) {
+        if (PyErr_Occurred())
+            return NULL;
+        Py_RETURN_NONE;
+    }
+    if (touch && ((CMEntry *)found)->in_lru)
+        lru_touch(self, (CMEntry *)found);
+    Py_INCREF(found);
+    return found;
+}
+
+static PyObject *
+CMCache_entries(CMCache *self, PyObject *Py_UNUSED(ignored))
+{
+    PyObject *values = PyObject_CallMethodNoArgs(self->entries, S_values);
+    PyObject *it;
+    if (values == NULL)
+        return NULL;
+    it = PyObject_GetIter(values);
+    Py_DECREF(values);
+    return it;
+}
+
+static PyObject *
+CMCache_get_overflowed(CMCache *self, void *closure)
+{
+    return PyBool_FromLong(
+        PyDict_GET_SIZE(self->entries) > (Py_ssize_t)self->capacity);
+}
+
+static PyObject *
+CMCache_get_counters(CMCache *self, void *closure)
+{
+    PyObject *kwargs, *empty, *out;
+    if (CacheCountersClass == NULL) {
+        PyErr_SetString(PyExc_RuntimeError,
+                        "_cmodel.configure() has not been called");
+        return NULL;
+    }
+    kwargs = Py_BuildValue("{s:L,s:L,s:L}",
+                           "insertions", self->insertions,
+                           "evictions", self->evictions,
+                           "prefetch_insertions", self->prefetch_insertions);
+    if (kwargs == NULL)
+        return NULL;
+    empty = PyTuple_New(0);
+    if (empty == NULL) {
+        Py_DECREF(kwargs);
+        return NULL;
+    }
+    out = PyObject_Call(CacheCountersClass, empty, kwargs);
+    Py_DECREF(empty);
+    Py_DECREF(kwargs);
+    return out;
+}
+
+static PyObject *
+CMCache_slot_census(CMCache *self, PyObject *Py_UNUSED(ignored))
+{
+    long long n[4] = {0, 0, 0, 0};   /* local_prefix, local_other,
+                                        replica_prefix, replica_other */
+    Py_ssize_t pos = 0;
+    PyObject *key, *value;
+    while (PyDict_Next(self->entries, &pos, &key, &value)) {
+        CMEntry *e = (CMEntry *)value;
+        int prefix = e->is_dir && entry_pinned(e);
+        n[(e->replica ? 2 : 0) + (prefix ? 0 : 1)] += 1;
+    }
+    return Py_BuildValue("{s:L,s:L,s:L,s:L}",
+                         "local_prefix", n[0], "local_other", n[1],
+                         "replica_prefix", n[2], "replica_other", n[3]);
+}
+
+static PyObject *
+CMCache_prefix_fraction(CMCache *self, PyObject *Py_UNUSED(ignored))
+{
+    Py_ssize_t pos = 0;
+    PyObject *key, *value;
+    long long prefixes = 0;
+    Py_ssize_t total = PyDict_GET_SIZE(self->entries);
+    if (total == 0)
+        return PyFloat_FromDouble(0.0);
+    while (PyDict_Next(self->entries, &pos, &key, &value)) {
+        CMEntry *e = (CMEntry *)value;
+        if (e->is_dir && entry_pinned(e))
+            prefixes += 1;
+    }
+    return PyFloat_FromDouble((double)prefixes / (double)total);
+}
+
+static PyObject *
+CMCache_replica_fraction(CMCache *self, PyObject *Py_UNUSED(ignored))
+{
+    Py_ssize_t pos = 0;
+    PyObject *key, *value;
+    long long replicas = 0;
+    Py_ssize_t total = PyDict_GET_SIZE(self->entries);
+    if (total == 0)
+        return PyFloat_FromDouble(0.0);
+    while (PyDict_Next(self->entries, &pos, &key, &value)) {
+        if (((CMEntry *)value)->replica)
+            replicas += 1;
+    }
+    return PyFloat_FromDouble((double)replicas / (double)total);
+}
+
+/* mutation ---------------------------------------------------------- */
+
+static PyObject *
+CMCache_insert(CMCache *self, PyObject *const *args, Py_ssize_t nargs,
+               PyObject *kwnames)
+{
+    PyObject *ino, *parent_ino, *existing;
+    int is_dir, replica = 0, prefetched = 0;
+    CMEntry *entry;
+    Py_ssize_t i, nkw = kwnames ? PyTuple_GET_SIZE(kwnames) : 0;
+    if (nargs != 3) {
+        PyErr_SetString(PyExc_TypeError,
+                        "insert() takes exactly 3 positional arguments "
+                        "(ino, parent_ino, is_dir)");
+        return NULL;
+    }
+    ino = args[0];
+    parent_ino = args[1];
+    is_dir = PyObject_IsTrue(args[2]);
+    if (is_dir < 0)
+        return NULL;
+    for (i = 0; i < nkw; i++) {
+        PyObject *name = PyTuple_GET_ITEM(kwnames, i);
+        int val = PyObject_IsTrue(args[nargs + i]);
+        if (val < 0)
+            return NULL;
+        if (kwname_is(name, S_replica))
+            replica = val;
+        else if (kwname_is(name, S_prefetched))
+            prefetched = val;
+        else {
+            PyErr_Format(PyExc_TypeError,
+                         "insert() got an unexpected keyword argument %R",
+                         name);
+            return NULL;
+        }
+    }
+
+    existing = PyDict_GetItemWithError(self->entries, ino);
+    if (existing != NULL) {
+        CMEntry *e = (CMEntry *)existing;
+        if (!replica)
+            e->replica = 0;
+        if (e->in_lru && !prefetched)
+            lru_touch(self, e);
+        return PyList_New(0);
+    }
+    if (PyErr_Occurred())
+        return NULL;
+
+    if (parent_ino != Py_None) {
+        PyObject *p = PyDict_GetItemWithError(self->entries, parent_ino);
+        if (p == NULL) {
+            if (!PyErr_Occurred())
+                PyErr_Format(PyExc_KeyError,
+                             "cannot cache ino %S: parent %S not cached"
+                             " (hierarchical constraint)", ino, parent_ino);
+            return NULL;
+        }
+        /* python: _pin_internal */
+        ((CMEntry *)p)->pin_count += 1;
+        if (((CMEntry *)p)->in_lru)
+            lru_unlink((CMEntry *)p);
+    }
+
+    entry = entry_fresh(ino, parent_ino, is_dir, replica);
+    if (entry == NULL)
+        return NULL;
+    if (PyDict_SetItem(self->entries, ino, (PyObject *)entry) < 0) {
+        Py_DECREF(entry);
+        return NULL;
+    }
+    if (prefetched) {
+        /* cold-end insertion: first in line for eviction (§4.5) */
+        lru_append_cold(self, entry);
+        self->prefetch_insertions += 1;
+    }
+    else {
+        lru_append_hot(self, entry);
+    }
+    self->insertions += 1;
+    {
+        long long exclude = entry->ino;
+        Py_DECREF(entry);
+        return cache_shrink(self, /*has_exclude=*/1, exclude);
+    }
+}
+
+static CMEntry *
+cache_lookup_or_keyerror(CMCache *self, PyObject *ino)
+{
+    PyObject *found = PyDict_GetItemWithError(self->entries, ino);
+    if (found == NULL && !PyErr_Occurred())
+        PyErr_SetObject(PyExc_KeyError, ino);   /* self._entries[ino] */
+    return (CMEntry *)found;
+}
+
+static PyObject *
+CMCache_pin(CMCache *self, PyObject *ino)
+{
+    CMEntry *entry = cache_lookup_or_keyerror(self, ino);
+    if (entry == NULL)
+        return NULL;
+    entry->external_pins += 1;
+    if (entry->in_lru)
+        lru_unlink(entry);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+CMCache_unpin(CMCache *self, PyObject *ino)
+{
+    CMEntry *entry = cache_lookup_or_keyerror(self, ino);
+    if (entry == NULL)
+        return NULL;
+    if (entry->external_pins <= 0) {
+        PyErr_Format(PyExc_RuntimeError,
+                     "unpin without pin for ino %S", ino);
+        return NULL;
+    }
+    entry->external_pins -= 1;
+    if (!entry_pinned(entry))
+        cache_make_evictable(self, entry, /*cold=*/0);
+    return cache_shrink(self, /*has_exclude=*/0, 0);
+}
+
+static PyObject *
+CMCache_remove(CMCache *self, PyObject *ino)
+{
+    PyObject *found = PyDict_GetItemWithError(self->entries, ino);
+    CMEntry *entry;
+    if (found == NULL) {
+        if (!PyErr_Occurred())
+            PyErr_Format(PyExc_KeyError, "ino %S not cached", ino);
+        return NULL;
+    }
+    entry = (CMEntry *)found;
+    if (entry->pin_count > 0) {
+        PyErr_Format(PyExc_RuntimeError,
+                     "cannot remove ino %S: %lld cached children",
+                     ino, entry->pin_count);
+        return NULL;
+    }
+    if (entry->external_pins > 0) {
+        PyErr_Format(PyExc_RuntimeError,
+                     "cannot remove ino %S: %lld external "
+                     "pins (open handles / delegation anchors)",
+                     ino, entry->external_pins);
+        return NULL;
+    }
+    Py_INCREF(entry);
+    if (PyDict_DelItem(self->entries, ino) < 0) {
+        Py_DECREF(entry);
+        return NULL;
+    }
+    if (entry->in_lru)
+        lru_unlink(entry);
+    if (cache_unpin_parent(self, entry) < 0) {
+        Py_DECREF(entry);
+        return NULL;
+    }
+    return (PyObject *)entry;
+}
+
+static PyObject *
+CMCache_collect_subtree(CMCache *self, PyObject *root_obj)
+{
+    long long root_ino, maxdepth = 0, d;
+    int contains = PyDict_Contains(self->entries, root_obj);
+    Py_ssize_t total, i, count = 0, pos = 0;
+    PyObject *key, *value, *out;
+    CMEntry **members = NULL;
+    long long *depths = NULL;
+    if (contains < 0)
+        return NULL;
+    if (!contains)
+        return PyList_New(0);
+    root_ino = PyLong_AsLongLong(root_obj);
+    if (root_ino == -1 && PyErr_Occurred())
+        return NULL;
+    total = PyDict_GET_SIZE(self->entries);
+    members = PyMem_New(CMEntry *, total ? total : 1);
+    depths = PyMem_New(long long, total ? total : 1);
+    if (members == NULL || depths == NULL) {
+        PyMem_Free(members);
+        PyMem_Free(depths);
+        return PyErr_NoMemory();
+    }
+    while (PyDict_Next(self->entries, &pos, &key, &value)) {
+        CMEntry *entry = (CMEntry *)value, *node = entry;
+        long long depth = 0;
+        int found = entry->ino == root_ino;
+        while (!found && node != NULL && node->parent_ino != Py_None) {
+            PyObject *p = PyDict_GetItemWithError(self->entries,
+                                                  node->parent_ino);
+            if (p == NULL && PyErr_Occurred()) {
+                PyMem_Free(members);
+                PyMem_Free(depths);
+                return NULL;
+            }
+            node = (CMEntry *)p;
+            depth += 1;
+            if (node != NULL && node->ino == root_ino)
+                found = 1;
+        }
+        if (found) {
+            members[count] = entry;
+            depths[count] = depth;
+            if (depth > maxdepth)
+                maxdepth = depth;
+            count++;
+        }
+    }
+    /* stable sort by descending depth (python: members.sort(-depth)) */
+    out = PyList_New(count);
+    if (out == NULL) {
+        PyMem_Free(members);
+        PyMem_Free(depths);
+        return NULL;
+    }
+    i = 0;
+    for (d = maxdepth; d >= 0; d--) {
+        Py_ssize_t j;
+        for (j = 0; j < count; j++) {
+            if (depths[j] == d) {
+                Py_INCREF(members[j]);
+                PyList_SET_ITEM(out, i, (PyObject *)members[j]);
+                i++;
+            }
+        }
+    }
+    PyMem_Free(members);
+    PyMem_Free(depths);
+    return out;
+}
+
+/* invariants (tests/introspection) ---------------------------------- */
+
+static PyObject *
+CMCache_lru_order(CMCache *self, PyObject *Py_UNUSED(ignored))
+{
+    PyObject *order = PyList_New(0);
+    CMEntry *node;
+    if (order == NULL)
+        return NULL;
+    for (node = self->head->nxt; node != self->tail; node = node->nxt) {
+        if (PyList_Append(order, node->ino_obj) < 0) {
+            Py_DECREF(order);
+            return NULL;
+        }
+    }
+    return order;
+}
+
+static PyObject *
+CMCache_verify_invariants(CMCache *self, PyObject *Py_UNUSED(ignored))
+{
+    PyObject *pin_counts = NULL, *forward = NULL, *unpinned = NULL;
+    PyObject *key, *value;
+    Py_ssize_t pos;
+    CMEntry *node, *prev;
+    int cmp;
+
+    pin_counts = PyDict_New();       /* ino -> cached-children count */
+    if (pin_counts == NULL)
+        goto error;
+    pos = 0;
+    while (PyDict_Next(self->entries, &pos, &key, &value)) {
+        CMEntry *e = (CMEntry *)value;
+        if (e->parent_ino != Py_None) {
+            PyObject *cnt;
+            int has = PyDict_Contains(self->entries, e->parent_ino);
+            if (has < 0)
+                goto error;
+            if (!has) {
+                PyErr_Format(PyExc_AssertionError,
+                             "ino %S: parent %S not cached",
+                             e->ino_obj, e->parent_ino);
+                goto error;
+            }
+            cnt = PyDict_GetItemWithError(pin_counts, e->parent_ino);
+            if (cnt == NULL && PyErr_Occurred())
+                goto error;
+            cnt = PyLong_FromLongLong(
+                (cnt == NULL ? 0 : PyLong_AsLongLong(cnt)) + 1);
+            if (cnt == NULL ||
+                    PyDict_SetItem(pin_counts, e->parent_ino, cnt) < 0) {
+                Py_XDECREF(cnt);
+                goto error;
+            }
+            Py_DECREF(cnt);
+        }
+    }
+    pos = 0;
+    while (PyDict_Next(self->entries, &pos, &key, &value)) {
+        CMEntry *e = (CMEntry *)value;
+        PyObject *cnt = PyDict_GetItemWithError(pin_counts, e->ino_obj);
+        long long expected;
+        if (cnt == NULL && PyErr_Occurred())
+            goto error;
+        expected = cnt == NULL ? 0 : PyLong_AsLongLong(cnt);
+        if (e->pin_count != expected) {
+            PyErr_Format(PyExc_AssertionError,
+                         "ino %S: pin_count %lld != %lld cached children",
+                         e->ino_obj, e->pin_count, expected);
+            goto error;
+        }
+        if ((e->in_lru != 0) != (entry_pinned(e) == 0)) {
+            PyErr_Format(PyExc_AssertionError,
+                         "ino %S: pinned=%s but in_lru=%s", e->ino_obj,
+                         entry_pinned(e) ? "True" : "False",
+                         e->in_lru ? "True" : "False");
+            goto error;
+        }
+    }
+    /* the intrusive list is consistent both ways and holds exactly the
+     * unpinned entries */
+    forward = PySet_New(NULL);
+    if (forward == NULL)
+        goto error;
+    prev = self->head;
+    for (node = self->head->nxt; node != self->tail; node = node->nxt) {
+        int has;
+        if (node == NULL || node->prv != prev) {
+            PyErr_SetString(PyExc_AssertionError, "broken back-link");
+            goto error;
+        }
+        if (!node->in_lru) {
+            PyErr_Format(PyExc_AssertionError,
+                         "listed entry %S not flagged in_lru", node->ino_obj);
+            goto error;
+        }
+        has = PyDict_Contains(self->entries, node->ino_obj);
+        if (has < 0)
+            goto error;
+        if (!has) {
+            PyErr_Format(PyExc_AssertionError,
+                         "listed entry %S not cached", node->ino_obj);
+            goto error;
+        }
+        has = PySet_Contains(forward, node->ino_obj);
+        if (has < 0)
+            goto error;
+        if (has) {
+            PyErr_SetString(PyExc_AssertionError,
+                            "duplicate entries in LRU list");
+            goto error;
+        }
+        if (PySet_Add(forward, node->ino_obj) < 0)
+            goto error;
+        prev = node;
+    }
+    if (self->tail->prv != prev) {
+        PyErr_SetString(PyExc_AssertionError, "broken tail back-link");
+        goto error;
+    }
+    unpinned = PySet_New(NULL);
+    if (unpinned == NULL)
+        goto error;
+    pos = 0;
+    while (PyDict_Next(self->entries, &pos, &key, &value)) {
+        CMEntry *e = (CMEntry *)value;
+        if (!entry_pinned(e) && PySet_Add(unpinned, e->ino_obj) < 0)
+            goto error;
+    }
+    cmp = PyObject_RichCompareBool(forward, unpinned, Py_EQ);
+    if (cmp < 0)
+        goto error;
+    if (!cmp) {
+        PyErr_Format(PyExc_AssertionError,
+                     "LRU list %R != unpinned entries %R", forward, unpinned);
+        goto error;
+    }
+    Py_DECREF(pin_counts);
+    Py_DECREF(forward);
+    Py_DECREF(unpinned);
+    Py_RETURN_NONE;
+error:
+    Py_XDECREF(pin_counts);
+    Py_XDECREF(forward);
+    Py_XDECREF(unpinned);
+    return NULL;
+}
+
+static PyMethodDef CMCache_methods[] = {
+    {"get", (PyCFunction)(void (*)(void))CMCache_get,
+     METH_FASTCALL | METH_KEYWORDS,
+     "Entry for ``ino``, refreshing its recency unless ``touch=False``."},
+    {"insert", (PyCFunction)(void (*)(void))CMCache_insert,
+     METH_FASTCALL | METH_KEYWORDS,
+     "Cache ``ino``; returns the entries evicted to make room."},
+    {"pin", (PyCFunction)CMCache_pin, METH_O,
+     "Add an external pin (delegation anchor / in-flight op)."},
+    {"unpin", (PyCFunction)CMCache_unpin, METH_O,
+     "Release an external pin."},
+    {"remove", (PyCFunction)CMCache_remove, METH_O,
+     "Forcibly drop an unpinned entry (migration / invalidation)."},
+    {"collect_subtree", (PyCFunction)CMCache_collect_subtree, METH_O,
+     "Cached entries at/under ``root_ino``, deepest first."},
+    {"entries", (PyCFunction)CMCache_entries, METH_NOARGS, NULL},
+    {"slot_census", (PyCFunction)CMCache_slot_census, METH_NOARGS,
+     "Occupancy by category: local/replica x prefix/leaf."},
+    {"prefix_fraction", (PyCFunction)CMCache_prefix_fraction, METH_NOARGS,
+     "Fraction of occupied slots holding prefix (ancestor) inodes."},
+    {"replica_fraction", (PyCFunction)CMCache_replica_fraction, METH_NOARGS,
+     "Fraction of occupied slots holding replicated metadata."},
+    {"_lru_order", (PyCFunction)CMCache_lru_order, METH_NOARGS,
+     "Eviction order, coldest first (tests/introspection only)."},
+    {"verify_invariants", (PyCFunction)CMCache_verify_invariants,
+     METH_NOARGS, "Raise ``AssertionError`` on internal inconsistency."},
+    {NULL}
+};
+
+static PyMemberDef CMCache_members[] = {
+    {"capacity", T_LONGLONG, offsetof(CMCache, capacity), 0,
+     "capacity in inode slots"},
+    {"_entries", T_OBJECT, offsetof(CMCache, entries), READONLY, NULL},
+    {NULL}
+};
+
+static PyGetSetDef CMCache_getset[] = {
+    {"overflowed", (getter)CMCache_get_overflowed, NULL, NULL, NULL},
+    {"counters", (getter)CMCache_get_counters, NULL,
+     "Monotonic cache activity counters (snapshot).", NULL},
+    {NULL}
+};
+
+static PySequenceMethods CMCache_as_sequence = {
+    .sq_length = (lenfunc)CMCache_len,
+    .sq_contains = (objobjproc)CMCache_contains,
+};
+
+static PyTypeObject CMCacheType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.model._cmodel.MetadataCache",
+    .tp_basicsize = sizeof(CMCache),
+    .tp_dealloc = (destructor)CMCache_dealloc,
+    .tp_as_sequence = &CMCache_as_sequence,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Bounded inode cache with leaf-only eviction (compiled).",
+    .tp_traverse = (traverseproc)CMCache_traverse,
+    .tp_clear = (inquiry)CMCache_clear_refs,
+    .tp_methods = CMCache_methods,
+    .tp_members = CMCache_members,
+    .tp_getset = CMCache_getset,
+    .tp_init = (initproc)CMCache_init,
+    .tp_new = PyType_GenericNew,
+};
+
+/* ------------------------------------------------------------------ */
+/* ResolutionMemo                                                     */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    long long capacity;
+    long long hits;
+    long long misses;
+    long long invalidations;
+    PyObject *paths;        /* dict: path tuple -> (target, walk)       */
+    PyObject *chains;       /* dict: ino -> tuple of ancestor inodes    */
+    PyObject *ino_chains;   /* dict: ino -> tuple of bare ancestor inos */
+    PyObject *deps;         /* dict: ino -> set of dependent memo keys  */
+} CMMemo;
+
+static PyTypeObject CMMemoType;
+
+static int
+CMMemo_traverse(CMMemo *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->paths);
+    Py_VISIT(self->chains);
+    Py_VISIT(self->ino_chains);
+    Py_VISIT(self->deps);
+    return 0;
+}
+
+static int
+CMMemo_clear_refs(CMMemo *self)
+{
+    Py_CLEAR(self->paths);
+    Py_CLEAR(self->chains);
+    Py_CLEAR(self->ino_chains);
+    Py_CLEAR(self->deps);
+    return 0;
+}
+
+static void
+CMMemo_dealloc(CMMemo *self)
+{
+    PyObject_GC_UnTrack(self);
+    (void)CMMemo_clear_refs(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static int
+CMMemo_init(CMMemo *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"capacity", NULL};
+    long long capacity = 65536;
+    PyObject *d[4];
+    int i;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "|L:ResolutionMemo", kwlist,
+                                     &capacity))
+        return -1;
+    if (capacity < 1) {
+        PyErr_Format(PyExc_ValueError,
+                     "capacity must be >= 1, got %lld", capacity);
+        return -1;
+    }
+    for (i = 0; i < 4; i++) {
+        d[i] = PyDict_New();
+        if (d[i] == NULL) {
+            while (i > 0)
+                Py_DECREF(d[--i]);
+            return -1;
+        }
+    }
+    self->capacity = capacity;
+    self->hits = self->misses = self->invalidations = 0;
+    Py_XSETREF(self->paths, d[0]);
+    Py_XSETREF(self->chains, d[1]);
+    Py_XSETREF(self->ino_chains, d[2]);
+    Py_XSETREF(self->deps, d[3]);
+    return 0;
+}
+
+static Py_ssize_t
+CMMemo_len(CMMemo *self)
+{
+    return PyDict_GET_SIZE(self->paths) + PyDict_GET_SIZE(self->chains);
+}
+
+/* dep-bucket helper: deps[ino].add(key), creating the set on demand */
+static int
+memo_dep_add(CMMemo *self, PyObject *ino, PyObject *key)
+{
+    PyObject *bucket = PyDict_GetItemWithError(self->deps, ino);
+    if (bucket == NULL) {
+        if (PyErr_Occurred())
+            return -1;
+        bucket = PySet_New(NULL);
+        if (bucket == NULL)
+            return -1;
+        if (PyDict_SetItem(self->deps, ino, bucket) < 0) {
+            Py_DECREF(bucket);
+            return -1;
+        }
+        Py_DECREF(bucket);
+        bucket = PyDict_GetItemWithError(self->deps, ino);
+        if (bucket == NULL)
+            return -1;
+    }
+    return PySet_Add(bucket, key);
+}
+
+/* dep-bucket helper: deps[ino].discard(key), dropping empty buckets */
+static int
+memo_dep_discard(CMMemo *self, PyObject *ino, PyObject *key)
+{
+    PyObject *bucket = PyDict_GetItemWithError(self->deps, ino);
+    if (bucket == NULL)
+        return PyErr_Occurred() ? -1 : 0;
+    if (PySet_Discard(bucket, key) < 0)
+        return -1;
+    if (PySet_GET_SIZE(bucket) == 0)
+        return PyDict_DelItem(self->deps, ino);
+    return 0;
+}
+
+/* python: _drop_path; 1 dropped, 0 absent, -1 error */
+static int
+memo_drop_path(CMMemo *self, PyObject *path)
+{
+    PyObject *entry, *walk;
+    Py_ssize_t i, n;
+    entry = PyDict_GetItemWithError(self->paths, path);
+    if (entry == NULL)
+        return PyErr_Occurred() ? -1 : 0;
+    Py_INCREF(entry);
+    if (PyDict_DelItem(self->paths, path) < 0) {
+        Py_DECREF(entry);
+        return -1;
+    }
+    walk = PyTuple_GET_ITEM(entry, 1);
+    n = PyTuple_GET_SIZE(walk);
+    for (i = 0; i < n; i++) {
+        PyObject *ino = PyObject_GetAttr(PyTuple_GET_ITEM(walk, i), S_ino);
+        int rc;
+        if (ino == NULL) {
+            Py_DECREF(entry);
+            return -1;
+        }
+        rc = memo_dep_discard(self, ino, path);
+        Py_DECREF(ino);
+        if (rc < 0) {
+            Py_DECREF(entry);
+            return -1;
+        }
+    }
+    Py_DECREF(entry);
+    return 1;
+}
+
+/* python: _drop_chain; 1 dropped, 0 absent, -1 error */
+static int
+memo_drop_chain(CMMemo *self, PyObject *ino_key)
+{
+    PyObject *chain;
+    Py_ssize_t i, n;
+    int rc;
+    chain = PyDict_GetItemWithError(self->chains, ino_key);
+    if (chain == NULL)
+        return PyErr_Occurred() ? -1 : 0;
+    Py_INCREF(chain);
+    if (PyDict_DelItem(self->chains, ino_key) < 0) {
+        Py_DECREF(chain);
+        return -1;
+    }
+    if (PyDict_GetItemWithError(self->ino_chains, ino_key) != NULL) {
+        if (PyDict_DelItem(self->ino_chains, ino_key) < 0) {
+            Py_DECREF(chain);
+            return -1;
+        }
+    }
+    else if (PyErr_Occurred()) {
+        Py_DECREF(chain);
+        return -1;
+    }
+    rc = memo_dep_discard(self, ino_key, ino_key);
+    if (rc < 0) {
+        Py_DECREF(chain);
+        return -1;
+    }
+    n = PyTuple_GET_SIZE(chain);
+    for (i = 1; i < n; i++) {     /* chain[0] is the immovable root */
+        PyObject *dep = PyObject_GetAttr(PyTuple_GET_ITEM(chain, i), S_ino);
+        if (dep == NULL) {
+            Py_DECREF(chain);
+            return -1;
+        }
+        rc = memo_dep_discard(self, dep, ino_key);
+        Py_DECREF(dep);
+        if (rc < 0) {
+            Py_DECREF(chain);
+            return -1;
+        }
+    }
+    Py_DECREF(chain);
+    return 1;
+}
+
+/* FIFO eviction: drop the oldest entry of ``which`` (insertion order) */
+static int
+memo_drop_first(CMMemo *self, PyObject *which,
+                int (*dropper)(CMMemo *, PyObject *))
+{
+    Py_ssize_t pos = 0;
+    PyObject *key, *value;
+    int rc;
+    if (!PyDict_Next(which, &pos, &key, &value))
+        return 0;
+    Py_INCREF(key);
+    rc = dropper(self, key);
+    Py_DECREF(key);
+    return rc < 0 ? -1 : 0;
+}
+
+static PyObject *
+CMMemo_store_path(CMMemo *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    PyObject *path, *walk, *target, *val;
+    Py_ssize_t i, n;
+    int has;
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "store_path() takes exactly 2 arguments");
+        return NULL;
+    }
+    path = args[0];
+    walk = args[1];
+    has = PyDict_Contains(self->paths, path);
+    if (has < 0)
+        return NULL;
+    if (has)
+        Py_RETURN_NONE;
+    while (PyDict_GET_SIZE(self->paths) >= (Py_ssize_t)self->capacity) {
+        if (memo_drop_first(self, self->paths, memo_drop_path) < 0)
+            return NULL;
+    }
+    if (!PyTuple_Check(walk) || PyTuple_GET_SIZE(walk) == 0) {
+        PyErr_SetString(PyExc_TypeError,
+                        "store_path() expects a non-empty walk tuple");
+        return NULL;
+    }
+    n = PyTuple_GET_SIZE(walk);
+    target = PyTuple_GET_ITEM(walk, n - 1);      /* walk[-1] */
+    val = PyTuple_Pack(2, target, walk);
+    if (val == NULL)
+        return NULL;
+    if (PyDict_SetItem(self->paths, path, val) < 0) {
+        Py_DECREF(val);
+        return NULL;
+    }
+    Py_DECREF(val);
+    for (i = 0; i < n; i++) {
+        PyObject *ino = PyObject_GetAttr(PyTuple_GET_ITEM(walk, i), S_ino);
+        int rc;
+        if (ino == NULL)
+            return NULL;
+        rc = memo_dep_add(self, ino, path);
+        Py_DECREF(ino);
+        if (rc < 0)
+            return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+CMMemo_store_chain(CMMemo *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    PyObject *ino, *chain, *bare;
+    Py_ssize_t i, n;
+    int has;
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "store_chain() takes exactly 2 arguments");
+        return NULL;
+    }
+    ino = args[0];
+    chain = args[1];
+    has = PyDict_Contains(self->chains, ino);
+    if (has < 0)
+        return NULL;
+    if (has)
+        Py_RETURN_NONE;
+    while (PyDict_GET_SIZE(self->chains) >= (Py_ssize_t)self->capacity) {
+        if (memo_drop_first(self, self->chains, memo_drop_chain) < 0)
+            return NULL;
+    }
+    if (!PyTuple_Check(chain)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "store_chain() expects a chain tuple");
+        return NULL;
+    }
+    if (PyDict_SetItem(self->chains, ino, chain) < 0)
+        return NULL;
+    n = PyTuple_GET_SIZE(chain);
+    bare = PyTuple_New(n);
+    if (bare == NULL)
+        return NULL;
+    for (i = 0; i < n; i++) {
+        PyObject *node_ino = PyObject_GetAttr(PyTuple_GET_ITEM(chain, i),
+                                              S_ino);
+        if (node_ino == NULL) {
+            Py_DECREF(bare);
+            return NULL;
+        }
+        PyTuple_SET_ITEM(bare, i, node_ino);
+    }
+    if (PyDict_SetItem(self->ino_chains, ino, bare) < 0) {
+        Py_DECREF(bare);
+        return NULL;
+    }
+    /* the entry depends on ino itself (a rename/unlink of ino must kill
+     * it) and on every non-root ancestor on the chain */
+    if (memo_dep_add(self, ino, ino) < 0) {
+        Py_DECREF(bare);
+        return NULL;
+    }
+    for (i = 1; i < n; i++) {
+        if (memo_dep_add(self, PyTuple_GET_ITEM(bare, i), ino) < 0) {
+            Py_DECREF(bare);
+            return NULL;
+        }
+    }
+    Py_DECREF(bare);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+CMMemo_invalidate_ino(CMMemo *self, PyObject *ino)
+{
+    PyObject *keys, *as_list;
+    Py_ssize_t i, n;
+    long long dropped = 0;
+    keys = PyDict_GetItemWithError(self->deps, ino);
+    if (keys == NULL) {
+        if (PyErr_Occurred())
+            return NULL;
+        return PyLong_FromLong(0);
+    }
+    Py_INCREF(keys);
+    if (PyDict_DelItem(self->deps, ino) < 0) {
+        Py_DECREF(keys);
+        return NULL;
+    }
+    if (PySet_GET_SIZE(keys) == 0) {
+        Py_DECREF(keys);
+        return PyLong_FromLong(0);
+    }
+    as_list = PySequence_List(keys);
+    Py_DECREF(keys);
+    if (as_list == NULL)
+        return NULL;
+    n = PyList_GET_SIZE(as_list);
+    for (i = 0; i < n; i++) {
+        PyObject *key = PyList_GET_ITEM(as_list, i);
+        int rc = PyTuple_Check(key) ? memo_drop_path(self, key)
+                                    : memo_drop_chain(self, key);
+        if (rc < 0) {
+            Py_DECREF(as_list);
+            return NULL;
+        }
+        dropped += rc;
+    }
+    Py_DECREF(as_list);
+    self->invalidations += dropped;
+    return PyLong_FromLongLong(dropped);
+}
+
+static PyObject *
+CMMemo_drop_path_meth(CMMemo *self, PyObject *path)
+{
+    int rc = memo_drop_path(self, path);
+    if (rc < 0)
+        return NULL;
+    return PyBool_FromLong(rc);
+}
+
+static PyObject *
+CMMemo_drop_chain_meth(CMMemo *self, PyObject *ino)
+{
+    int rc = memo_drop_chain(self, ino);
+    if (rc < 0)
+        return NULL;
+    return PyBool_FromLong(rc);
+}
+
+static PyObject *
+CMMemo_clear(CMMemo *self, PyObject *Py_UNUSED(ignored))
+{
+    PyDict_Clear(self->paths);
+    PyDict_Clear(self->chains);
+    PyDict_Clear(self->ino_chains);
+    PyDict_Clear(self->deps);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+CMMemo_stats(CMMemo *self, PyObject *Py_UNUSED(ignored))
+{
+    return Py_BuildValue("{s:n,s:L,s:L,s:L}",
+                         "entries", CMMemo_len(self),
+                         "hits", self->hits,
+                         "misses", self->misses,
+                         "invalidations", self->invalidations);
+}
+
+static PyObject *
+CMMemo_verify_invariants(CMMemo *self, PyObject *Py_UNUSED(ignored))
+{
+    PyObject *expected = PyDict_New();
+    PyObject *key, *value, *keys_a = NULL, *keys_b = NULL;
+    Py_ssize_t pos, i, n;
+    int cmp;
+    if (expected == NULL)
+        return NULL;
+    /* rebuild the dependency index from scratch */
+    pos = 0;
+    while (PyDict_Next(self->paths, &pos, &key, &value)) {
+        PyObject *walk = PyTuple_GET_ITEM(value, 1);
+        n = PyTuple_GET_SIZE(walk);
+        for (i = 0; i < n; i++) {
+            PyObject *ino = PyObject_GetAttr(PyTuple_GET_ITEM(walk, i),
+                                             S_ino);
+            PyObject *bucket;
+            if (ino == NULL)
+                goto error;
+            bucket = PyDict_GetItemWithError(expected, ino);
+            if (bucket == NULL) {
+                if (PyErr_Occurred()) {
+                    Py_DECREF(ino);
+                    goto error;
+                }
+                bucket = PySet_New(NULL);
+                if (bucket == NULL ||
+                        PyDict_SetItem(expected, ino, bucket) < 0) {
+                    Py_XDECREF(bucket);
+                    Py_DECREF(ino);
+                    goto error;
+                }
+                Py_DECREF(bucket);
+                bucket = PyDict_GetItemWithError(expected, ino);
+            }
+            Py_DECREF(ino);
+            if (bucket == NULL || PySet_Add(bucket, key) < 0)
+                goto error;
+        }
+    }
+    pos = 0;
+    while (PyDict_Next(self->chains, &pos, &key, &value)) {
+        PyObject *bucket = PyDict_GetItemWithError(expected, key);
+        if (bucket == NULL) {
+            if (PyErr_Occurred())
+                goto error;
+            bucket = PySet_New(NULL);
+            if (bucket == NULL || PyDict_SetItem(expected, key, bucket) < 0) {
+                Py_XDECREF(bucket);
+                goto error;
+            }
+            Py_DECREF(bucket);
+            bucket = PyDict_GetItemWithError(expected, key);
+        }
+        if (bucket == NULL || PySet_Add(bucket, key) < 0)
+            goto error;
+        n = PyTuple_GET_SIZE(value);
+        for (i = 1; i < n; i++) {
+            PyObject *ino = PyObject_GetAttr(PyTuple_GET_ITEM(value, i),
+                                             S_ino);
+            if (ino == NULL)
+                goto error;
+            bucket = PyDict_GetItemWithError(expected, ino);
+            if (bucket == NULL) {
+                if (PyErr_Occurred()) {
+                    Py_DECREF(ino);
+                    goto error;
+                }
+                bucket = PySet_New(NULL);
+                if (bucket == NULL ||
+                        PyDict_SetItem(expected, ino, bucket) < 0) {
+                    Py_XDECREF(bucket);
+                    Py_DECREF(ino);
+                    goto error;
+                }
+                Py_DECREF(bucket);
+                bucket = PyDict_GetItemWithError(expected, ino);
+            }
+            Py_DECREF(ino);
+            if (bucket == NULL || PySet_Add(bucket, key) < 0)
+                goto error;
+        }
+    }
+    cmp = PyObject_RichCompareBool(self->deps, expected, Py_EQ);
+    if (cmp < 0)
+        goto error;
+    if (!cmp) {
+        PyErr_Format(PyExc_AssertionError,
+                     "dep index mismatch: %R != %R", self->deps, expected);
+        goto error;
+    }
+    keys_a = PyObject_CallMethod(self->ino_chains, "keys", NULL);
+    keys_b = PyObject_CallMethod(self->chains, "keys", NULL);
+    if (keys_a == NULL || keys_b == NULL)
+        goto error;
+    cmp = PyObject_RichCompareBool(keys_a, keys_b, Py_EQ);
+    if (cmp < 0)
+        goto error;
+    if (!cmp) {
+        PyErr_SetString(PyExc_AssertionError,
+                        "ino_chains out of sync with chains");
+        goto error;
+    }
+    pos = 0;
+    while (PyDict_Next(self->chains, &pos, &key, &value)) {
+        PyObject *stored = PyDict_GetItemWithError(self->ino_chains, key);
+        PyObject *fresh;
+        if (stored == NULL)
+            goto error;
+        n = PyTuple_GET_SIZE(value);
+        fresh = PyTuple_New(n);
+        if (fresh == NULL)
+            goto error;
+        for (i = 0; i < n; i++) {
+            PyObject *ino = PyObject_GetAttr(PyTuple_GET_ITEM(value, i),
+                                             S_ino);
+            if (ino == NULL) {
+                Py_DECREF(fresh);
+                goto error;
+            }
+            PyTuple_SET_ITEM(fresh, i, ino);
+        }
+        cmp = PyObject_RichCompareBool(stored, fresh, Py_EQ);
+        Py_DECREF(fresh);
+        if (cmp < 0)
+            goto error;
+        if (!cmp) {
+            PyErr_Format(PyExc_AssertionError,
+                         "ino_chains[%R] stale", key);
+            goto error;
+        }
+    }
+    Py_DECREF(expected);
+    Py_DECREF(keys_a);
+    Py_DECREF(keys_b);
+    Py_RETURN_NONE;
+error:
+    Py_DECREF(expected);
+    Py_XDECREF(keys_a);
+    Py_XDECREF(keys_b);
+    return NULL;
+}
+
+static PyObject *
+CMMemo_deepcopy(CMMemo *self, PyObject *memo)
+{
+    CMMemo *fresh;
+    PyObject *dc = get_deepcopy(), *ident = NULL;
+    PyObject *src[4], *dst[4] = {NULL, NULL, NULL, NULL};
+    int i;
+    if (dc == NULL)
+        return NULL;
+    fresh = (CMMemo *)CMMemoType.tp_alloc(&CMMemoType, 0);
+    if (fresh == NULL)
+        return NULL;
+    fresh->capacity = self->capacity;
+    fresh->hits = self->hits;
+    fresh->misses = self->misses;
+    fresh->invalidations = self->invalidations;
+    /* register before recursing so cyclic references resolve */
+    ident = PyLong_FromVoidPtr((void *)self);
+    if (ident == NULL || PyDict_SetItem(memo, ident, (PyObject *)fresh) < 0) {
+        Py_XDECREF(ident);
+        Py_DECREF(fresh);
+        return NULL;
+    }
+    Py_DECREF(ident);
+    src[0] = self->paths;
+    src[1] = self->chains;
+    src[2] = self->ino_chains;
+    src[3] = self->deps;
+    for (i = 0; i < 4; i++) {
+        dst[i] = PyObject_CallFunctionObjArgs(dc, src[i], memo, NULL);
+        if (dst[i] == NULL) {
+            while (i > 0)
+                Py_DECREF(dst[--i]);
+            Py_DECREF(fresh);
+            return NULL;
+        }
+    }
+    fresh->paths = dst[0];
+    fresh->chains = dst[1];
+    fresh->ino_chains = dst[2];
+    fresh->deps = dst[3];
+    return (PyObject *)fresh;
+}
+
+static PyMethodDef CMMemo_methods[] = {
+    {"store_path", (PyCFunction)(void (*)(void))CMMemo_store_path,
+     METH_FASTCALL, "Memoise a *successful* resolution of ``path``."},
+    {"store_chain", (PyCFunction)(void (*)(void))CMMemo_store_chain,
+     METH_FASTCALL,
+     "Memoise ``ancestors(ino)`` (root first, ``ino`` excluded)."},
+    {"invalidate_ino", (PyCFunction)CMMemo_invalidate_ino, METH_O,
+     "Drop every entry whose walk or chain passes through ``ino``."},
+    {"clear", (PyCFunction)CMMemo_clear, METH_NOARGS, NULL},
+    {"stats", (PyCFunction)CMMemo_stats, METH_NOARGS, NULL},
+    {"verify_invariants", (PyCFunction)CMMemo_verify_invariants,
+     METH_NOARGS,
+     "Raise ``AssertionError`` on index inconsistency (tests only)."},
+    {"_drop_path", (PyCFunction)CMMemo_drop_path_meth, METH_O, NULL},
+    {"_drop_chain", (PyCFunction)CMMemo_drop_chain_meth, METH_O, NULL},
+    {"__deepcopy__", (PyCFunction)CMMemo_deepcopy, METH_O, NULL},
+    {NULL}
+};
+
+static PyMemberDef CMMemo_members[] = {
+    {"capacity", T_LONGLONG, offsetof(CMMemo, capacity), 0, NULL},
+    {"hits", T_LONGLONG, offsetof(CMMemo, hits), 0, NULL},
+    {"misses", T_LONGLONG, offsetof(CMMemo, misses), 0, NULL},
+    {"invalidations", T_LONGLONG, offsetof(CMMemo, invalidations), 0, NULL},
+    {"paths", T_OBJECT, offsetof(CMMemo, paths), READONLY, NULL},
+    {"chains", T_OBJECT, offsetof(CMMemo, chains), READONLY, NULL},
+    {"ino_chains", T_OBJECT, offsetof(CMMemo, ino_chains), READONLY, NULL},
+    {"_deps", T_OBJECT, offsetof(CMMemo, deps), READONLY, NULL},
+    {NULL}
+};
+
+static PySequenceMethods CMMemo_as_sequence = {
+    .sq_length = (lenfunc)CMMemo_len,
+};
+
+static PyTypeObject CMMemoType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.model._cmodel.ResolutionMemo",
+    .tp_basicsize = sizeof(CMMemo),
+    .tp_dealloc = (destructor)CMMemo_dealloc,
+    .tp_as_sequence = &CMMemo_as_sequence,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Bounded memo of path resolutions and ancestor chains "
+              "(compiled).",
+    .tp_traverse = (traverseproc)CMMemo_traverse,
+    .tp_clear = (inquiry)CMMemo_clear_refs,
+    .tp_methods = CMMemo_methods,
+    .tp_members = CMMemo_members,
+    .tp_init = (initproc)CMMemo_init,
+    .tp_new = PyType_GenericNew,
+};
+
+/* ------------------------------------------------------------------ */
+/* PopularityMap                                                      */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    double halflife_s;
+    PyObject *counters;     /* dict: key (any hashable) -> DecayCounter */
+} CMPop;
+
+static PyTypeObject CMPopType;
+
+static int
+CMPop_traverse(CMPop *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->counters);
+    return 0;
+}
+
+static int
+CMPop_clear_refs(CMPop *self)
+{
+    Py_CLEAR(self->counters);
+    return 0;
+}
+
+static void
+CMPop_dealloc(CMPop *self)
+{
+    PyObject_GC_UnTrack(self);
+    (void)CMPop_clear_refs(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static int
+CMPop_init(CMPop *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"halflife_s", NULL};
+    double halflife_s;
+    PyObject *counters;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "d:PopularityMap", kwlist,
+                                     &halflife_s))
+        return -1;
+    if (halflife_s <= 0) {
+        PyErr_SetString(PyExc_ValueError, "halflife must be positive");
+        return -1;
+    }
+    counters = PyDict_New();
+    if (counters == NULL)
+        return -1;
+    self->halflife_s = halflife_s;
+    Py_XSETREF(self->counters, counters);
+    return 0;
+}
+
+static CMCounter *
+pop_lookup(CMPop *self, PyObject *key)
+{
+    PyObject *c = PyDict_GetItemWithError(self->counters, key);
+    if (c == NULL)
+        return NULL;
+    if (!PyObject_TypeCheck(c, &CMCounterType)) {
+        PyErr_Format(PyExc_TypeError,
+                     "PopularityMap counter for %R is not a DecayCounter",
+                     key);
+        return NULL;
+    }
+    return (CMCounter *)c;
+}
+
+static PyObject *
+CMPop_add(CMPop *self, PyObject *const *args, Py_ssize_t nargs,
+          PyObject *kwnames)
+{
+    double now, amount = 1.0;
+    CMCounter *counter;
+    Py_ssize_t nkw = kwnames ? PyTuple_GET_SIZE(kwnames) : 0;
+    if (nargs < 2 || nargs > 3 || nargs + nkw > 3) {
+        PyErr_SetString(PyExc_TypeError,
+                        "add() takes (ino, now, amount=1.0)");
+        return NULL;
+    }
+    now = PyFloat_AsDouble(args[1]);
+    if (now == -1.0 && PyErr_Occurred())
+        return NULL;
+    if (nargs == 3) {
+        amount = PyFloat_AsDouble(args[2]);
+        if (amount == -1.0 && PyErr_Occurred())
+            return NULL;
+    }
+    if (nkw) {
+        if (!kwname_is(PyTuple_GET_ITEM(kwnames, 0), S_amount)) {
+            PyErr_SetString(PyExc_TypeError,
+                            "add() got an unexpected keyword argument");
+            return NULL;
+        }
+        amount = PyFloat_AsDouble(args[nargs]);
+        if (amount == -1.0 && PyErr_Occurred())
+            return NULL;
+    }
+    counter = pop_lookup(self, args[0]);
+    if (counter == NULL) {
+        if (PyErr_Occurred())
+            return NULL;
+        counter = counter_fresh(self->halflife_s, 0.0, now);
+        if (counter == NULL)
+            return NULL;
+        if (PyDict_SetItem(self->counters, args[0],
+                           (PyObject *)counter) < 0) {
+            Py_DECREF(counter);
+            return NULL;
+        }
+        Py_DECREF(counter);
+    }
+    counter_decay_to(counter, now);
+    counter->value += amount;
+    return PyFloat_FromDouble(counter->value);
+}
+
+static PyObject *
+CMPop_add_chain(CMPop *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    double now;
+    PyObject *it, *key;
+    double halflife = self->halflife_s;
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError, "add_chain() takes (inos, now)");
+        return NULL;
+    }
+    now = PyFloat_AsDouble(args[1]);
+    if (now == -1.0 && PyErr_Occurred())
+        return NULL;
+    it = PyObject_GetIter(args[0]);
+    if (it == NULL)
+        return NULL;
+    while ((key = PyIter_Next(it)) != NULL) {
+        CMCounter *counter = pop_lookup(self, key);
+        if (counter == NULL) {
+            if (PyErr_Occurred()) {
+                Py_DECREF(key);
+                Py_DECREF(it);
+                return NULL;
+            }
+            /* fresh counter at `now`: no decay, first access counts 1 */
+            counter = counter_fresh(halflife, 1.0, now);
+            if (counter == NULL ||
+                    PyDict_SetItem(self->counters, key,
+                                   (PyObject *)counter) < 0) {
+                Py_XDECREF(counter);
+                Py_DECREF(key);
+                Py_DECREF(it);
+                return NULL;
+            }
+            Py_DECREF(counter);
+            Py_DECREF(key);
+            continue;
+        }
+        /* identical float semantics to DecayCounter._decay_to, inlined */
+        if (now > counter->last_t) {
+            if (counter->value > 0.0)
+                counter->value *= exp(-CM_LN2 *
+                                      (now - counter->last_t) / halflife);
+            counter->last_t = now;
+        }
+        counter->value += 1.0;
+        Py_DECREF(key);
+    }
+    Py_DECREF(it);
+    if (PyErr_Occurred())
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+CMPop_read(CMPop *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    double now;
+    CMCounter *counter;
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError, "read() takes (ino, now)");
+        return NULL;
+    }
+    now = PyFloat_AsDouble(args[1]);
+    if (now == -1.0 && PyErr_Occurred())
+        return NULL;
+    counter = pop_lookup(self, args[0]);
+    if (counter == NULL) {
+        if (PyErr_Occurred())
+            return NULL;
+        return PyFloat_FromDouble(0.0);
+    }
+    counter_decay_to(counter, now);
+    return PyFloat_FromDouble(counter->value);
+}
+
+static PyObject *
+CMPop_prune(CMPop *self, PyObject *const *args, Py_ssize_t nargs,
+            PyObject *kwnames)
+{
+    double now, floor_v = 0.01;
+    PyObject *dead, *key, *value;
+    Py_ssize_t pos = 0, i, ndead;
+    Py_ssize_t nkw = kwnames ? PyTuple_GET_SIZE(kwnames) : 0;
+    if (nargs < 1 || nargs > 2 || nargs + nkw > 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "prune() takes (now, floor=0.01)");
+        return NULL;
+    }
+    now = PyFloat_AsDouble(args[0]);
+    if (now == -1.0 && PyErr_Occurred())
+        return NULL;
+    if (nargs == 2) {
+        floor_v = PyFloat_AsDouble(args[1]);
+        if (floor_v == -1.0 && PyErr_Occurred())
+            return NULL;
+    }
+    if (nkw) {
+        if (!kwname_is(PyTuple_GET_ITEM(kwnames, 0), S_floor)) {
+            PyErr_SetString(PyExc_TypeError,
+                            "prune() got an unexpected keyword argument");
+            return NULL;
+        }
+        floor_v = PyFloat_AsDouble(args[nargs]);
+        if (floor_v == -1.0 && PyErr_Occurred())
+            return NULL;
+    }
+    dead = PyList_New(0);
+    if (dead == NULL)
+        return NULL;
+    while (PyDict_Next(self->counters, &pos, &key, &value)) {
+        CMCounter *c;
+        if (!PyObject_TypeCheck(value, &CMCounterType)) {
+            Py_DECREF(dead);
+            PyErr_SetString(PyExc_TypeError,
+                            "PopularityMap holds a non-DecayCounter value");
+            return NULL;
+        }
+        c = (CMCounter *)value;
+        counter_decay_to(c, now);   /* python: c.read(now) mutates */
+        if (c->value < floor_v && PyList_Append(dead, key) < 0) {
+            Py_DECREF(dead);
+            return NULL;
+        }
+    }
+    ndead = PyList_GET_SIZE(dead);
+    for (i = 0; i < ndead; i++) {
+        if (PyDict_DelItem(self->counters, PyList_GET_ITEM(dead, i)) < 0) {
+            Py_DECREF(dead);
+            return NULL;
+        }
+    }
+    Py_DECREF(dead);
+    return PyLong_FromSsize_t(ndead);
+}
+
+static Py_ssize_t
+CMPop_len(CMPop *self)
+{
+    return PyDict_GET_SIZE(self->counters);
+}
+
+static PyMethodDef CMPop_methods[] = {
+    {"add", (PyCFunction)(void (*)(void))CMPop_add,
+     METH_FASTCALL | METH_KEYWORDS, NULL},
+    {"add_chain", (PyCFunction)(void (*)(void))CMPop_add_chain,
+     METH_FASTCALL,
+     "Record one access on every counter in ``inos`` at time ``now``."},
+    {"read", (PyCFunction)(void (*)(void))CMPop_read, METH_FASTCALL, NULL},
+    {"prune", (PyCFunction)(void (*)(void))CMPop_prune,
+     METH_FASTCALL | METH_KEYWORDS,
+     "Drop counters that decayed below ``floor``; returns count removed."},
+    {NULL}
+};
+
+static PyMemberDef CMPop_members[] = {
+    {"halflife_s", T_DOUBLE, offsetof(CMPop, halflife_s), 0, NULL},
+    {"_counters", T_OBJECT, offsetof(CMPop, counters), READONLY, NULL},
+    {NULL}
+};
+
+static PySequenceMethods CMPop_as_sequence = {
+    .sq_length = (lenfunc)CMPop_len,
+};
+
+static PyTypeObject CMPopType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.model._cmodel.PopularityMap",
+    .tp_basicsize = sizeof(CMPop),
+    .tp_dealloc = (destructor)CMPop_dealloc,
+    .tp_as_sequence = &CMPop_as_sequence,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Per-inode decay counters with shared half-life (compiled).",
+    .tp_traverse = (traverseproc)CMPop_traverse,
+    .tp_clear = (inquiry)CMPop_clear_refs,
+    .tp_methods = CMPop_methods,
+    .tp_members = CMPop_members,
+    .tp_init = (initproc)CMPop_init,
+    .tp_new = PyType_GenericNew,
+};
+
+/* ------------------------------------------------------------------ */
+/* AuthorityMemo                                                      */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *ns;           /* namespace; read for ``structure_epoch``  */
+    PyObject *compute;      /* bound Strategy._authority_of_ino         */
+    PyObject *map;          /* dict: ino -> authority mds index         */
+    long long epoch;
+} CMAuth;
+
+static PyTypeObject CMAuthType;
+
+static int
+CMAuth_traverse(CMAuth *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->ns);
+    Py_VISIT(self->compute);
+    Py_VISIT(self->map);
+    return 0;
+}
+
+static int
+CMAuth_clear_refs(CMAuth *self)
+{
+    Py_CLEAR(self->ns);
+    Py_CLEAR(self->compute);
+    Py_CLEAR(self->map);
+    return 0;
+}
+
+static void
+CMAuth_dealloc(CMAuth *self)
+{
+    PyObject_GC_UnTrack(self);
+    (void)CMAuth_clear_refs(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static int
+CMAuth_init(CMAuth *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"ns", "compute", NULL};
+    PyObject *ns, *compute, *map;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "OO:AuthorityMemo", kwlist,
+                                     &ns, &compute))
+        return -1;
+    map = PyDict_New();
+    if (map == NULL)
+        return -1;
+    Py_INCREF(ns);
+    Py_XSETREF(self->ns, ns);
+    Py_INCREF(compute);
+    Py_XSETREF(self->compute, compute);
+    Py_XSETREF(self->map, map);
+    self->epoch = -1;
+    return 0;
+}
+
+static PyObject *
+CMAuth_lookup(CMAuth *self, PyObject *ino)
+{
+    PyObject *epoch_obj, *found, *computed;
+    long long epoch;
+    epoch_obj = PyObject_GetAttr(self->ns, S_structure_epoch);
+    if (epoch_obj == NULL)
+        return NULL;
+    epoch = PyLong_AsLongLong(epoch_obj);
+    Py_DECREF(epoch_obj);
+    if (epoch == -1 && PyErr_Occurred())
+        return NULL;
+    if (epoch != self->epoch) {
+        PyDict_Clear(self->map);
+        self->epoch = epoch;
+    }
+    found = PyDict_GetItemWithError(self->map, ino);
+    if (found != NULL) {
+        Py_INCREF(found);
+        return found;
+    }
+    if (PyErr_Occurred())
+        return NULL;
+    computed = PyObject_CallOneArg(self->compute, ino);
+    if (computed == NULL)
+        return NULL;
+    if (PyDict_SetItem(self->map, ino, computed) < 0) {
+        Py_DECREF(computed);
+        return NULL;
+    }
+    return computed;
+}
+
+static PyObject *
+CMAuth_clear(CMAuth *self, PyObject *Py_UNUSED(ignored))
+{
+    PyDict_Clear(self->map);
+    Py_RETURN_NONE;
+}
+
+static Py_ssize_t
+CMAuth_len(CMAuth *self)
+{
+    return PyDict_GET_SIZE(self->map);
+}
+
+static PyMethodDef CMAuth_methods[] = {
+    {"lookup", (PyCFunction)CMAuth_lookup, METH_O,
+     "Authority of ``ino``, recomputed when ``ns.structure_epoch`` moves."},
+    {"clear", (PyCFunction)CMAuth_clear, METH_NOARGS,
+     "Drop all memoised authorities (authority table changed)."},
+    {NULL}
+};
+
+static PyMemberDef CMAuth_members[] = {
+    {"_map", T_OBJECT, offsetof(CMAuth, map), READONLY, NULL},
+    {"_epoch", T_LONGLONG, offsetof(CMAuth, epoch), READONLY, NULL},
+    {NULL}
+};
+
+static PySequenceMethods CMAuth_as_sequence = {
+    .sq_length = (lenfunc)CMAuth_len,
+};
+
+static PyTypeObject CMAuthType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.model._cmodel.AuthorityMemo",
+    .tp_basicsize = sizeof(CMAuth),
+    .tp_dealloc = (destructor)CMAuth_dealloc,
+    .tp_as_sequence = &CMAuth_as_sequence,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Epoch-keyed authority lookup memo (compiled).",
+    .tp_traverse = (traverseproc)CMAuth_traverse,
+    .tp_clear = (inquiry)CMAuth_clear_refs,
+    .tp_methods = CMAuth_methods,
+    .tp_members = CMAuth_members,
+    .tp_init = (initproc)CMAuth_init,
+    .tp_new = PyType_GenericNew,
+};
+
+/* ------------------------------------------------------------------ */
+/* module                                                             */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+cmodel_configure(PyObject *module, PyObject *counters_class)
+{
+    if (!PyCallable_Check(counters_class)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "configure() expects the CacheCounters class");
+        return NULL;
+    }
+    Py_INCREF(counters_class);
+    Py_XSETREF(CacheCountersClass, counters_class);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+cmodel_pool_stats(PyObject *module, PyObject *Py_UNUSED(ignored))
+{
+    return Py_BuildValue("{s:i,s:i,s:i}",
+                         "entry_pool", entry_pool_len,
+                         "counter_pool", counter_pool_len,
+                         "pool_max", CM_POOL_MAX);
+}
+
+static PyMethodDef cmodel_methods[] = {
+    {"configure", cmodel_configure, METH_O,
+     "Install the python CacheCounters class used by cache.counters."},
+    {"pool_stats", cmodel_pool_stats, METH_NOARGS,
+     "Current freelist occupancy (introspection only)."},
+    {NULL}
+};
+
+static struct PyModuleDef cmodel_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro.model._cmodel",
+    .m_doc = "Compiled MDS-model hot spots (cache LRU, resolution memo, "
+             "popularity accounting).",
+    .m_size = -1,
+    .m_methods = cmodel_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__cmodel(void)
+{
+    PyObject *m;
+
+    CM_LN2 = log(2.0);      /* matches python's math.log(2.0) */
+
+    if ((S_touch = PyUnicode_InternFromString("touch")) == NULL ||
+        (S_replica = PyUnicode_InternFromString("replica")) == NULL ||
+        (S_prefetched = PyUnicode_InternFromString("prefetched")) == NULL ||
+        (S_ino = PyUnicode_InternFromString("ino")) == NULL ||
+        (S_structure_epoch =
+             PyUnicode_InternFromString("structure_epoch")) == NULL ||
+        (S_values = PyUnicode_InternFromString("values")) == NULL ||
+        (S_insertions = PyUnicode_InternFromString("insertions")) == NULL ||
+        (S_evictions = PyUnicode_InternFromString("evictions")) == NULL ||
+        (S_prefetch_insertions =
+             PyUnicode_InternFromString("prefetch_insertions")) == NULL ||
+        (S_amount = PyUnicode_InternFromString("amount")) == NULL ||
+        (S_floor = PyUnicode_InternFromString("floor")) == NULL)
+        return NULL;
+
+    if (PyType_Ready(&CMEntryType) < 0 ||
+        PyType_Ready(&CMCounterType) < 0 ||
+        PyType_Ready(&CMCacheType) < 0 ||
+        PyType_Ready(&CMMemoType) < 0 ||
+        PyType_Ready(&CMPopType) < 0 ||
+        PyType_Ready(&CMAuthType) < 0)
+        return NULL;
+
+    m = PyModule_Create(&cmodel_module);
+    if (m == NULL)
+        return NULL;
+
+    Py_INCREF(&CMEntryType);
+    if (PyModule_AddObject(m, "CacheEntry", (PyObject *)&CMEntryType) < 0)
+        goto fail;
+    Py_INCREF(&CMCounterType);
+    if (PyModule_AddObject(m, "DecayCounter",
+                           (PyObject *)&CMCounterType) < 0)
+        goto fail;
+    Py_INCREF(&CMCacheType);
+    if (PyModule_AddObject(m, "MetadataCache",
+                           (PyObject *)&CMCacheType) < 0)
+        goto fail;
+    Py_INCREF(&CMMemoType);
+    if (PyModule_AddObject(m, "ResolutionMemo",
+                           (PyObject *)&CMMemoType) < 0)
+        goto fail;
+    Py_INCREF(&CMPopType);
+    if (PyModule_AddObject(m, "PopularityMap", (PyObject *)&CMPopType) < 0)
+        goto fail;
+    Py_INCREF(&CMAuthType);
+    if (PyModule_AddObject(m, "AuthorityMemo", (PyObject *)&CMAuthType) < 0)
+        goto fail;
+    if (PyModule_AddIntConstant(m, "POOL_MAX", CM_POOL_MAX) < 0)
+        goto fail;
+    return m;
+fail:
+    Py_DECREF(m);
+    return NULL;
+}

@@ -271,9 +271,15 @@ class Namespace:
 
     def enable_resolution_memo(self,
                                capacity: int = 65536) -> ResolutionMemo:
-        """Attach (or return the existing) path-resolution memo."""
+        """Attach (or return the existing) path-resolution memo.
+
+        Constructed through the model-backend factory, so under
+        ``REPRO_MODEL=compiled`` this is the C implementation (identical
+        behaviour, identical counters).
+        """
         if self._memo is None:
-            self._memo = ResolutionMemo(capacity)
+            from ..model.backend import make_resolution_memo
+            self._memo = make_resolution_memo(capacity)
         return self._memo
 
     def disable_resolution_memo(self) -> None:

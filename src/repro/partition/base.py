@@ -51,7 +51,8 @@ class Strategy(abc.ABC):
         self.layout: Layout = DirectoryGrainLayout()
         #: request-path fast lane: ino -> MDS memo, valid only while both
         #: the namespace ``structure_epoch`` and the strategy's own partition
-        #: state are unchanged.  ``None`` when the fast lane is disabled.
+        #: state are unchanged.  ``None`` when the fast lane is disabled; a
+        #: compiled AuthorityMemo when REPRO_MODEL selects the C backend.
         self._auth_cache: Optional[Dict[int, int]] = None
         self._auth_epoch = -1
         #: monotonic generation counter bumped on every partition-state
@@ -62,8 +63,21 @@ class Strategy(abc.ABC):
     def bind(self, ns: Namespace) -> None:
         """Attach the namespace and build the initial partition."""
         self.ns = ns
-        self._auth_cache = {} if fastpath_enabled() else None
+        self.__dict__.pop("authority_of_ino", None)
+        self._auth_cache = None
         self._auth_epoch = -1
+        if fastpath_enabled():
+            # Under REPRO_MODEL=compiled the memo is the C AuthorityMemo
+            # and its lookup shadows the python method entirely (same
+            # epoch-check-then-dict semantics, no interpreter dispatch);
+            # on the reference path the memo is the inline dict below.
+            from ..model.backend import make_authority_memo
+            memo = make_authority_memo(ns, self._authority_of_ino)
+            if memo is None:
+                self._auth_cache = {}
+            else:
+                self._auth_cache = memo
+                self.authority_of_ino = memo.lookup
         self._setup()
 
     def _setup(self) -> None:

@@ -39,7 +39,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..mds.messages import MdsReply, MdsRequest, OVERLOAD_ERROR
-from ..mds.popularity import PopularityMap
+from ..model.backend import make_popularity_map
 from ..sim import Environment, Event, Resource
 
 
@@ -123,7 +123,7 @@ class ProxyNode:
         self.tier = tier
         self.spec = spec
         self.cpu = Resource(env, capacity=1)
-        self.popularity = PopularityMap(spec.popularity_halflife_s)
+        self.popularity = make_popularity_map(spec.popularity_halflife_s)
         self.stats = ProxyStats()
         #: key -> (reply, cached_at); insertion-ordered for FIFO eviction
         self._cache: Dict[_Key, Tuple[MdsReply, float]] = {}

@@ -206,7 +206,8 @@ def _merge_kernel(partials: List[ShardPartial]) -> Dict[str, float]:
     for p in partials[1:]:
         for key, value in p.kernel.items():
             if key in ("fastlane", "pool_reuse_rate", "kernel_backend",
-                       "compiled_viable"):
+                       "compiled_viable", "model_backend",
+                       "compiled_model_viable"):
                 # mode/provenance fields: identical on every shard (same
                 # gates cross the fork), so shard 0's copy stands
                 continue

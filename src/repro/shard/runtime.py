@@ -25,6 +25,7 @@ from ..mds.messages import MdsReply, MdsRequest
 from ..obs import RingBufferSink, Tracer
 from ..obs.tracer import _op_name
 from ..sim import Environment
+from ..model.backend import model_info
 from ..sim.backend import kernel_info
 from .plan import ShardPlan, compute_plan
 
@@ -365,7 +366,8 @@ def _collect_partial(sim, ctx: ShardContext,
                         clients=clients, samples=sim.tracer.samples,
                         ns_len=len(sim.ns), snapshot_len=snapshot_len,
                         kernel={**sim.env.kernel_stats(),
-                                **kernel_info(sim.env)},
+                                **kernel_info(sim.env),
+                                **model_info(sim.model_backend)},
                         messages_sent=ctx.transport.sent,
                         messages_received=ctx.transport.received)
 

@@ -9,7 +9,7 @@ the capacity bound (modulo tolerated all-pinned overflow).
 import hypothesis.strategies as st
 from hypothesis import settings
 from hypothesis.stateful import (RuleBasedStateMachine, initialize, invariant,
-                                 rule)
+                                 rule, run_state_machine_as_test)
 
 from repro.cache import MetadataCache
 
@@ -80,6 +80,11 @@ class CacheMachine(RuleBasedStateMachine):
                 "cache overflowed while multiple evictable entries existed")
 
 
-CacheMachine.TestCase.settings = settings(
-    max_examples=60, stateful_step_count=40, deadline=None)
-TestCacheProperties = CacheMachine.TestCase
+# driven as a plain pytest function (not CacheMachine.TestCase) so the
+# package's backend-parametrizing fixture applies — unittest collection
+# cannot take parametrized fixtures
+def test_cache_properties():
+    run_state_machine_as_test(
+        CacheMachine,
+        settings=settings(max_examples=60, stateful_step_count=40,
+                          deadline=None))

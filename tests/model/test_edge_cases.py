@@ -1,0 +1,168 @@
+"""Edge cases the differential fuzzers under-sample, on both backends.
+
+Each test runs against the reference and the compiled implementation
+(same assertions, same error messages) — corners like capacity-1 caches
+and very deep pin chains exercise freelist reuse and sentinel handling
+in the C extension that ordinary workloads rarely reach.
+"""
+
+import pytest
+
+from repro.model.backend import (compiled_model_viable, make_metadata_cache,
+                                 set_model_gate)
+from repro.namespace import Namespace, build_tree
+
+BACKENDS = [
+    pytest.param("reference", id="reference"),
+    pytest.param("compiled", id="compiled",
+                 marks=pytest.mark.skipif(
+                     not compiled_model_viable(),
+                     reason="compiled model extension not built")),
+]
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    yield request.param
+
+
+@pytest.fixture
+def cache_factory(backend):
+    return lambda capacity: make_metadata_cache(capacity, model=backend)
+
+
+# ----------------------------------------------------------------------
+# capacity-1 cache: every insert evicts, sentinels always adjacent
+# ----------------------------------------------------------------------
+def test_capacity_one_eviction_churn(cache_factory):
+    cache = cache_factory(1)
+    for ino in range(1, 200):
+        cache.insert(ino, None, False)
+        assert ino in cache and len(cache) == 1
+        cache.verify_invariants()
+    assert cache.counters.evictions == 198
+    assert not cache.overflowed
+
+
+def test_capacity_one_pinned_overflow(cache_factory):
+    cache = cache_factory(1)
+    cache.insert(1, None, True)
+    cache.pin(1)
+    # the pinned root cannot be evicted; inserting a child overflows
+    cache.insert(2, 1, False)
+    assert cache.overflowed and len(cache) == 2
+    cache.verify_invariants()
+    cache.unpin(1)
+    # next insert drains the overflow back to capacity
+    cache.insert(3, None, False)
+    assert len(cache) <= 2
+    cache.verify_invariants()
+
+
+# ----------------------------------------------------------------------
+# deep pin/unpin chains: one long ancestry, pins rippling to the root
+# ----------------------------------------------------------------------
+def test_deep_pin_unpin_chain(cache_factory):
+    depth = 500
+    cache = cache_factory(depth + 10)
+    parent = None
+    for ino in range(1, depth + 1):
+        cache.insert(ino, parent, True)
+        parent = ino
+    # every interior node is pinned by its child; only the leaf is loose
+    unpinned = [e.ino for e in cache.entries() if not e.pinned]
+    assert unpinned == [depth]
+    cache.verify_invariants()
+    # an external pin on the leaf, then release — state fully restored
+    cache.pin(depth)
+    assert cache.get(depth).pinned
+    cache.unpin(depth)
+    assert not cache.get(depth).pinned
+    # removing leaves one by one unpins each parent in turn
+    for ino in range(depth, 1, -1):
+        cache.remove(ino)
+        assert not cache.get(ino - 1).pinned
+    cache.verify_invariants()
+    assert len(cache) == 1
+
+
+def test_unpin_errors_match(cache_factory):
+    cache = cache_factory(4)
+    cache.insert(1, None, True)
+    with pytest.raises(RuntimeError, match="unpin without pin for ino 1"):
+        cache.unpin(1)
+    with pytest.raises(KeyError):
+        cache.pin(99)
+
+
+def test_remove_with_children_refuses(cache_factory):
+    cache = cache_factory(8)
+    cache.insert(1, None, True)
+    cache.insert(2, 1, True)
+    cache.insert(3, 1, False)
+    with pytest.raises(RuntimeError,
+                       match="cannot remove ino 1: 2 cached children"):
+        cache.remove(1)
+
+
+# ----------------------------------------------------------------------
+# collect_subtree with replicas mixed in
+# ----------------------------------------------------------------------
+def test_collect_subtree_with_replicas(cache_factory):
+    cache = cache_factory(32)
+    cache.insert(1, None, True)
+    cache.insert(2, 1, True, replica=True)
+    cache.insert(3, 2, True)
+    cache.insert(4, 3, False, replica=True)
+    cache.insert(5, 2, False)
+    cache.insert(6, 1, False, replica=True)
+    got = cache.collect_subtree(2)
+    # leaves-first: every entry precedes its parent, replicas included
+    inos = [e.ino for e in got]
+    assert set(inos) == {2, 3, 4, 5}
+    assert inos.index(4) < inos.index(3) < inos.index(2)
+    assert inos.index(5) < inos.index(2)
+    assert [e.ino for e in got if e.replica] == [4, 2]
+    # a subtree rooted at a leaf is just the leaf
+    assert [e.ino for e in cache.collect_subtree(6)] == [6]
+    # fractions count the replicas we inserted
+    assert cache.replica_fraction() == pytest.approx(3 / 6)
+
+
+# ----------------------------------------------------------------------
+# memo invalidation on rename/unlink through the full namespace stack
+# ----------------------------------------------------------------------
+@pytest.fixture
+def memo_ns(backend):
+    previous = set_model_gate(backend)
+    ns = Namespace()
+    build_tree(ns, {
+        "a": {"b": {"c": {"f.txt": 10}}, "g.txt": 20},
+    })
+    ns.enable_resolution_memo()
+    yield ns
+    set_model_gate(previous)
+
+
+def test_memo_rename_invalidates_deep_chain(memo_ns):
+    ns = memo_ns
+    deep = ("a", "b", "c", "f.txt")
+    ino = ns.resolve(deep).ino
+    ns.ancestors(ino)  # memoise the chain as well as the path
+    before = ns.resolution_memo.invalidations
+    ns.rename(("a", "b"), ("a", "b2"))
+    assert ns.resolution_memo.invalidations > before
+    assert ns.try_resolve(deep) is None
+    assert ns.resolve(("a", "b2", "c", "f.txt")).ino == ino
+    ns.resolution_memo.verify_invariants()
+
+
+def test_memo_unlink_then_recreate(memo_ns):
+    ns = memo_ns
+    path = ("a", "g.txt")
+    old = ns.resolve(path).ino
+    ns.unlink(path)
+    assert ns.try_resolve(path) is None
+    fresh = ns.create_file(path)
+    assert ns.resolve(path).ino == fresh.ino != old
+    ns.resolution_memo.verify_invariants()

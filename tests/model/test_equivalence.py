@@ -1,0 +1,84 @@
+"""The compiled model must be invisible to results.
+
+``REPRO_MODEL=reference`` and ``REPRO_MODEL=compiled`` must produce
+bit-identical summaries for the same seed — the C structures replicate
+every counter, exception and float expression of the pure-python model.
+The contract is enforced composing with every other execution gate:
+both fast-lane modes, both kernel backends, and sharded execution.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro._fastpath import FASTPATH_ENV
+from repro.api import build_simulation, run_sharded_summary, scaling_config
+from repro.model.backend import MODEL_ENV, compiled_model_viable
+from repro.sim.backend import KERNEL_ENV, compiled_viable
+
+pytestmark = pytest.mark.skipif(
+    not compiled_model_viable(),
+    reason="compiled model extension not built "
+           "(python tools/build_kernel.py)")
+
+KERNELS = [
+    pytest.param("reference", id="kernel-reference"),
+    pytest.param("compiled", id="kernel-compiled",
+                 marks=pytest.mark.skipif(
+                     not compiled_viable(),
+                     reason="compiled kernel extension not built")),
+]
+
+
+def _run(monkeypatch, model: str, *, fastpath: bool = True,
+         kernel: str = "reference"):
+    monkeypatch.setenv(MODEL_ENV, model)
+    monkeypatch.setenv(FASTPATH_ENV, "1" if fastpath else "0")
+    monkeypatch.setenv(KERNEL_ENV, kernel)
+    cfg = scaling_config("DynamicSubtree", 4, 0.1, seed=42)
+    sim = build_simulation(cfg)
+    assert sim.model_backend == model
+    sim.run_to(cfg.run_until_s)
+    return sim.summary()
+
+
+@pytest.mark.parametrize("fastpath", [False, True],
+                         ids=["fastpath-off", "fastpath-on"])
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_model_backends_bit_identical(monkeypatch, fastpath, kernel):
+    """The acceptance criterion: for a fixed seed the compiled model's
+    summary repr equals the reference's, in every fast-lane × kernel
+    combination."""
+    ref = _run(monkeypatch, "reference", fastpath=fastpath, kernel=kernel)
+    com = _run(monkeypatch, "compiled", fastpath=fastpath, kernel=kernel)
+    assert repr(ref) == repr(com)
+    assert ref == com
+    # provenance travels on the summary, outside the equality contract
+    assert ref.kernel["model_backend"] == "reference"
+    assert com.kernel["model_backend"] == "compiled"
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="sharding requires the fork start method")
+def test_model_backend_composes_with_shards(monkeypatch):
+    """The gate crosses the fork: a sharded compiled-model run merges to
+    the same summary as the serial reference run."""
+    from repro.api import sharded_config
+
+    cfg = sharded_config(n_mds=4, scale=1.0, users_per_mds=8,
+                         clients_per_mds=8, files_per_user=10,
+                         shared_tree_files=40, warmup_s=0.25,
+                         duration_s=0.5, net_hop_s=0.0025)
+
+    monkeypatch.setenv(MODEL_ENV, "reference")
+    sim = build_simulation(cfg)
+    t0, t1 = cfg.measure_window
+    sim.run_to(t1)
+    serial = sim.summary(window=(t0, t1))
+
+    monkeypatch.setenv(MODEL_ENV, "compiled")
+    merged = run_sharded_summary(cfg, 2)
+    assert repr(serial) == repr(merged)
+    assert serial == merged
+    assert merged.kernel["model_backend"] == "compiled"

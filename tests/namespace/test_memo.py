@@ -10,8 +10,26 @@ import copy
 
 import pytest
 
+from repro.model.backend import (compiled_model_viable, make_resolution_memo,
+                                 set_model_gate)
 from repro.namespace import (FileNotFound, Namespace, NotADirectory,
-                             ResolutionMemo, build_tree)
+                             build_tree)
+
+
+@pytest.fixture(scope="module", autouse=True,
+                params=["reference", "compiled"])
+def model_backend(request):
+    """Run every memo test against both backends.
+
+    ``enable_resolution_memo`` builds its memo through the model-backend
+    factory, so steering the process-wide gate is enough to swap the
+    implementation under the whole suite.
+    """
+    if request.param == "compiled" and not compiled_model_viable():
+        pytest.skip("compiled model extension not built")
+    previous = set_model_gate(request.param)
+    yield request.param
+    set_model_gate(previous)
 
 
 @pytest.fixture
@@ -163,4 +181,4 @@ def test_memo_survives_deepcopy_independently(ns):
 
 def test_memo_rejects_bad_capacity():
     with pytest.raises(ValueError):
-        ResolutionMemo(capacity=0)
+        make_resolution_memo(capacity=0)

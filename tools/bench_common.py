@@ -87,10 +87,12 @@ def warn_if_regressed(current: float, baseline: float, *, what: str,
 def host_fields() -> dict:
     """The host/provenance fields every bench report carries.
 
-    ``kernel_backend`` is the backend the current gates resolve to, so a
-    report produced after a silent compiled->reference fallback is still
-    distinguishable from a genuinely compiled run.
+    ``kernel_backend``/``model_backend`` are the backends the current
+    gates resolve to, so a report produced after a silent
+    compiled->reference fallback is still distinguishable from a
+    genuinely compiled run.
     """
+    from repro.model.backend import compiled_model_viable, resolve_model
     from repro.sim.backend import compiled_viable, resolve_kernel
 
     return {
@@ -100,6 +102,8 @@ def host_fields() -> dict:
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "kernel_backend": resolve_kernel(),
         "compiled_viable": compiled_viable(),
+        "model_backend": resolve_model(),
+        "compiled_model_viable": compiled_model_viable(),
     }
 
 

@@ -46,6 +46,7 @@ from repro.api import build_simulation, scaling_config  # noqa: E402
 from repro.experiments.figures import (FIGURES, fig5, fig6,  # noqa: E402
                                        run_shift_experiment)
 from repro.sim import CompiledEnvironment, Environment  # noqa: E402
+from repro.model.backend import resolve_model  # noqa: E402
 from repro.sim.backend import (KERNEL_ENV, compiled_viable,  # noqa: E402
                                resolve_kernel)
 
@@ -189,9 +190,11 @@ def main(argv=None) -> int:
         identical = equivalence_check(0.05 if args.quick else 0.1)
         os.environ[KERNEL_ENV] = "compiled"  # silent fallback if unbuilt
         figures_backend = resolve_kernel()
+        model_backend = resolve_model()
         if not args.no_figures:
             print(f"regenerating figures 2-7 at scale {scale} on the "
-                  f"{figures_backend} backend", flush=True)
+                  f"{figures_backend} kernel | {model_backend} model",
+                  flush=True)
             figures = run_figures(scale, args.seeds, args.results_dir,
                                   quiet=args.quick)
     finally:

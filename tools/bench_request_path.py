@@ -124,9 +124,11 @@ def main(argv=None) -> int:
     baseline = baseline_from_prior(prior)
     trajectory = trajectory_from_prior(prior)
 
+    from repro.model.backend import resolve_model
     from repro.sim.backend import resolve_kernel
-    print(f"kernel backend: {resolve_kernel()} (recorded in the report's "
-          "kernel_backend field)")
+    print(f"kernel backend: {resolve_kernel()} | model backend: "
+          f"{resolve_model()} (recorded in the report's kernel_backend/"
+          "model_backend fields)")
     cfg = scaling_config("DynamicSubtree", 4, args.scale, seed=42)
     prior_env = os.environ.get(FASTPATH_ENV)
     try:

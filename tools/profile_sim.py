@@ -21,6 +21,12 @@ run; ``--backend both`` times one run on each backend and prints their
 kernel counters side by side — the quickest way to see what the compiled
 calendar buys on this host.
 
+``--breakdown`` buckets the profiled time by subsystem (cProfile module
+prefixes): the event *kernel* (``repro.sim``), the metadata *model*
+(cache/namespace/mds/partition/model/proxy), and *observability*
+(obs/metrics/trace) — the quickest way to see which compiled extension
+the next wall-second should come from.
+
 Usage:
     python tools/profile_sim.py [--scale 0.5] [--strategy DynamicSubtree]
     python tools/profile_sim.py --sort tottime --limit 40
@@ -28,6 +34,7 @@ Usage:
     python tools/profile_sim.py --parallel --seeds 8 --repeat 3
     python tools/profile_sim.py --shards 4 --repeat 3
     python tools/profile_sim.py --backend both --repeat 3
+    python tools/profile_sim.py --breakdown
 """
 
 from __future__ import annotations
@@ -98,6 +105,50 @@ def _print_side_by_side(config, repeat):
           "(same events, same results; see the equivalence suites)")
 
 
+#: subsystem buckets for --breakdown, matched against profiled filenames
+#: (first match wins; anything unmatched lands in "other")
+BREAKDOWN_BUCKETS = (
+    ("kernel", ("repro/sim/",)),
+    ("model", ("repro/cache/", "repro/namespace/", "repro/mds/",
+               "repro/partition/", "repro/model/", "repro/proxy/")),
+    ("observability", ("repro/obs/", "repro/metrics/", "repro/trace/")),
+)
+
+
+def _bucket_of(filename: str) -> str:
+    norm = filename.replace(os.sep, "/")
+    for bucket, prefixes in BREAKDOWN_BUCKETS:
+        if any(prefix in norm for prefix in prefixes):
+            return bucket
+    return "other"
+
+
+def _print_breakdown(profiler, wall: float) -> None:
+    """Fold per-function exclusive (tottime) costs into subsystem buckets.
+
+    Exclusive time is used because it sums to the profiled total;
+    cumulative time would double-count every cross-subsystem call.
+    """
+    stats = pstats.Stats(profiler)
+    buckets: dict = {}
+    calls: dict = {}
+    for (filename, _lineno, _func), entry in stats.stats.items():
+        _cc, nc, tt, _ct, _callers = entry
+        bucket = _bucket_of(filename)
+        buckets[bucket] = buckets.get(bucket, 0.0) + tt
+        calls[bucket] = calls.get(bucket, 0) + nc
+    total = sum(buckets.values()) or 1.0
+    print(f"\nsubsystem breakdown ({wall:.1f}s wall, exclusive time):")
+    print(f"{'subsystem':<16}{'time_s':>10}{'share':>9}{'calls':>14}")
+    order = [name for name, _ in BREAKDOWN_BUCKETS] + ["other"]
+    for bucket in order:
+        if bucket not in buckets:
+            continue
+        tt = buckets[bucket]
+        print(f"{bucket:<16}{tt:>10.3f}{tt / total:>8.1%}"
+              f"{calls[bucket]:>14}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=0.5)
@@ -122,6 +173,10 @@ def main(argv=None) -> int:
     mode.add_argument("--shards", type=int, metavar="N",
                       help="time one shardable experiment partitioned N "
                            "ways via repro.shard")
+    parser.add_argument("--breakdown", action="store_true",
+                        help="profile one run and report time bucketed "
+                             "by subsystem (kernel/model/observability) "
+                             "instead of the flat function listing")
     parser.add_argument("--backend", choices=["reference", "compiled",
                                               "both"],
                         help="pin the event-kernel backend (REPRO_KERNEL) "
@@ -131,6 +186,11 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.repeat < 1:
         parser.error("--repeat must be >= 1")
+    if args.breakdown and (args.parallel or args.serial
+                           or args.shards is not None or args.repeat > 1
+                           or args.backend == "both"):
+        parser.error("--breakdown profiles a single run; drop "
+                     "--parallel/--serial/--shards/--repeat/--backend both")
     if args.backend in ("compiled", "both") and not compiled_viable():
         parser.error("compiled kernel extension not built; run "
                      "`python tools/build_kernel.py` first")
@@ -207,6 +267,12 @@ def main(argv=None) -> int:
           f"({result.mean_node_throughput:.0f} ops/s/MDS) "
           f"in {wall:.1f}s wall "
           f"-> {result.total_ops / wall:.0f} simulated ops per wall-second\n")
+    if args.breakdown:
+        _print_breakdown(profiler, wall)
+        if args.dump:
+            pstats.Stats(profiler).dump_stats(args.dump)
+            print(f"raw profile written to {args.dump}")
+        return 0
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.strip_dirs().sort_stats(args.sort).print_stats(args.limit)
     if args.dump:
